@@ -1,0 +1,109 @@
+"""Benchmarks regenerating every data-bearing figure (Figures 4-9).
+
+Figures 1-3 of the paper are diagrams with no measured series. Rendered
+text versions of each figure are archived under ``benchmarks/results/``.
+"""
+
+import pytest
+
+from repro.experiments import figures as F
+from repro.experiments.render import (
+    render_probe_impact,
+    render_queue_series,
+    render_sensitivity,
+    render_train_sensitivity,
+)
+
+
+def _run(benchmark, builder, profile):
+    return benchmark.pedantic(
+        lambda: builder(profile=profile), rounds=1, iterations=1
+    )
+
+
+def test_fig4_queue_series_tcp(benchmark, profile, archive):
+    """Fig. 4: synchronized TCP sawtooth at the bottleneck queue."""
+    series = _run(benchmark, F.figure_4, profile)
+    archive("fig4", render_queue_series(series))
+    # The buffer (100 ms) is reached (loss episodes) and the queue swings
+    # over a wide range (sawtooth), unlike CBR's idle-then-spike shape.
+    assert max(series.delays) == pytest.approx(0.1, abs=0.01)
+    assert series.episodes
+    mean_delay = sum(series.delays) / len(series.delays)
+    assert 0.01 < mean_delay < 0.09
+
+
+def test_fig5_queue_series_cbr(benchmark, profile, archive):
+    """Fig. 5: idle queue with engineered full-buffer spikes."""
+    series = _run(benchmark, F.figure_5, profile)
+    archive("fig5", render_queue_series(series))
+    assert max(series.delays) == pytest.approx(0.1, abs=0.01)
+    # Mostly idle: the median sample is zero.
+    idle = sum(1 for delay in series.delays if delay == 0.0)
+    assert idle > 0.5 * len(series.delays)
+    assert series.episodes
+
+
+def test_fig6_queue_series_harpoon(benchmark, profile, archive):
+    """Fig. 6: bursty web-like occupancy with irregular loss episodes."""
+    series = _run(benchmark, F.figure_6, profile)
+    archive("fig6", render_queue_series(series))
+    assert series.episodes
+    # Variable episodes: spacing is irregular (unlike Fig. 5's Poisson-only
+    # process the queue also hovers at intermediate levels).
+    intermediate = sum(1 for d in series.delays if 0.005 < d < 0.09)
+    assert intermediate > 0.02 * len(series.delays)
+
+
+def test_fig7_probe_train_sensitivity(benchmark, profile, archive):
+    """Fig. 7: P(no loss seen | inside episode) vs probe train length."""
+    curves = _run(benchmark, F.figure_7, profile)
+    archive("fig7", render_train_sensitivity(curves))
+    by_name = {curve.scenario: curve for curve in curves}
+    tcp = by_name["infinite_tcp"]
+    cbr = by_name["episodic_cbr"]
+    # CBR: single packets miss roughly half the time; 3+ packet trains
+    # almost never miss (the paper's sharp drop).
+    assert 0.2 < cbr.miss_probabilities[0] < 0.8
+    assert cbr.miss_probabilities[2] < 0.5 * cbr.miss_probabilities[0]
+    assert cbr.miss_probabilities[-1] < 0.2
+    # TCP: improvement exists but is much shallower.
+    assert tcp.miss_probabilities[0] > 0.25
+    tcp_drop = tcp.miss_probabilities[0] - tcp.miss_probabilities[-1]
+    cbr_drop = cbr.miss_probabilities[0] - cbr.miss_probabilities[-1]
+    assert cbr_drop > tcp_drop
+
+
+def test_fig8_probe_impact(benchmark, profile, archive):
+    """Fig. 8: probe trains begin to perturb queue dynamics as they grow."""
+    results = _run(benchmark, F.figure_8, profile)
+    archive("fig8", render_probe_impact(results))
+    by_train = {item.train_length: item for item in results}
+    assert by_train[0].probe_drop_times == []
+    # 10-packet trains at 10 ms inject 4x the load of 3-packet trains and
+    # lose more probe packets in episodes.
+    assert by_train[10].probe_load_fraction == pytest.approx(
+        by_train[3].probe_load_fraction * 10 / 3
+    )
+    assert len(by_train[10].probe_drop_times) >= len(by_train[3].probe_drop_times)
+
+
+def test_fig9a_alpha_sensitivity(benchmark, profile, archive):
+    """Fig. 9(a): estimated frequency rises with alpha at every p."""
+    sweep = _run(benchmark, F.figure_9a, profile)
+    archive("fig9a", render_sensitivity(sweep))
+    points_per_curve = len(next(iter(sweep.curves.values())))
+    for index in range(points_per_curve):
+        estimates = [sweep.curves[a][index][1] for a in sorted(sweep.curves)]
+        assert all(b >= a - 1e-9 for a, b in zip(estimates, estimates[1:]))
+    assert sweep.true_frequency > 0
+
+
+def test_fig9b_tau_sensitivity(benchmark, profile, archive):
+    """Fig. 9(b): estimated frequency rises with tau at every p."""
+    sweep = _run(benchmark, F.figure_9b, profile)
+    archive("fig9b", render_sensitivity(sweep))
+    points_per_curve = len(next(iter(sweep.curves.values())))
+    for index in range(points_per_curve):
+        estimates = [sweep.curves[t][index][1] for t in sorted(sweep.curves)]
+        assert all(b >= a - 1e-9 for a, b in zip(estimates, estimates[1:]))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Open-ended measurement with the §5.4 validation-based stopping rule.
+
+§7 sketches an alternate BADABING design: "take measurements continuously,
+and report when our validation techniques confirm that the estimation is
+robust" — useful at low p, where the probe stream barely perturbs the path
+but needs to run longer for a trustworthy estimate.
+
+This example uses the first-class :class:`AdaptiveMeasurement` API: a
+low-rate (p = 0.1) measurement advances in 30-second chunks and stops as
+soon as (a) enough 01/10 transitions have accumulated for the predicted
+relative error to drop below the target and (b) the §5.4 symmetry checks
+pass.
+
+Run:
+    python examples/adaptive_stopping.py
+"""
+
+from repro.core.adaptive import AdaptiveMeasurement
+from repro.core.validation import SequentialValidator
+from repro.experiments.runner import (
+    apply_scenario,
+    build_testbed,
+    compute_ground_truth,
+)
+
+WARMUP = 5.0
+SLOT = 0.005
+
+
+def main() -> None:
+    sim, testbed = build_testbed(seed=11)
+    apply_scenario(
+        sim, testbed, "episodic_cbr",
+        episode_durations=(0.068,), mean_spacing=5.0,
+    )
+    measurement = AdaptiveMeasurement(
+        sim,
+        testbed.probe_sender,
+        testbed.probe_receiver,
+        p=0.1,
+        chunk_seconds=30.0,
+        max_seconds=1200.0,
+        start=WARMUP,
+        validator=SequentialValidator(
+            target_relative_error=0.25, min_transitions=15
+        ),
+    )
+
+    print("=== Adaptive low-impact measurement (p = 0.1) ===")
+    outcome = measurement.run()
+
+    print(f"{'elapsed':>8} {'transitions':>12} {'rel. error':>10}")
+    for elapsed, transitions, error in measurement.progress:
+        error_text = f"{error:.3f}" if error is not None else "inf"
+        print(f"{elapsed:>7.0f}s {transitions:>12} {error_text:>10}")
+
+    truth = compute_ground_truth(testbed, SLOT, WARMUP, outcome.elapsed)
+    print()
+    print(f"verdict: {outcome.reason} after {outcome.elapsed:.0f} s "
+          f"({outcome.chunks} chunks)")
+    print(f"frequency  true={truth.frequency:.4f}  "
+          f"estimated={outcome.result.frequency:.4f}")
+    print(f"duration   true={truth.duration_mean * 1000:.1f} ms  "
+          f"estimated={outcome.result.duration_seconds * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""BADABING across a multi-hop path with several congestible bottlenecks.
+
+The paper evaluates a single bottleneck and defers "more complex multi-hop
+scenarios" to future work (§6.2). This example probes a 3-hop chain where
+*every* hop runs its own independent loss-episode process, and compares
+the estimates against the path-level truth — the union of the per-hop
+episodes, which is the congestion an end-to-end flow actually experiences.
+
+It also prints per-hop truth, showing how the end-to-end view aggregates
+hops that would each look mild in isolation.
+
+Run:
+    python examples/multihop_monitoring.py
+"""
+
+from repro.analysis.episodes import episodes_from_monitor
+from repro.experiments.runner import run_badabing_multihop
+
+N_SLOTS = 36_000  # 180 s
+WARMUP = 5.0
+
+
+def main() -> None:
+    keep = {}
+    result, truth = run_badabing_multihop(
+        n_hops=3,
+        p=0.5,
+        n_slots=N_SLOTS,
+        seed=17,
+        mean_spacings=[6.0, 10.0, 14.0],  # hop 0 busiest, hop 2 quietest
+        warmup=WARMUP,
+        keep=keep,
+    )
+    testbed = keep["testbed"]
+
+    print("=== Multi-hop loss monitoring (3 bottlenecks in series) ===\n")
+    print("per-hop ground truth:")
+    duration = N_SLOTS * 0.005
+    for hop, monitor in enumerate(testbed.hop_monitors):
+        episodes = [
+            e for e in episodes_from_monitor(monitor)
+            if e.end >= WARMUP and e.start <= WARMUP + duration
+        ]
+        share = sum(e.duration for e in episodes) / duration
+        print(f"  hop {hop}: {len(episodes):>3} episodes, "
+              f"{share * 100:5.2f}% of time in loss, "
+              f"{monitor.total_drops:>5} drops")
+
+    print()
+    print(f"path-level truth:   F = {truth.frequency:.4f}   "
+          f"D = {truth.duration_mean * 1000:.1f} ms   "
+          f"({truth.n_episodes} merged episodes)")
+    print(f"BADABING estimate:  F = {result.frequency:.4f}   "
+          f"D = {result.duration_seconds * 1000:.1f} ms")
+    validation = result.validation
+    print(f"validation: transitions={validation.transition_count}, "
+          f"asymmetry={validation.transition_asymmetry:.2f}, "
+          f"acceptable={validation.is_acceptable()}")
+    print()
+    print("one probe stream measures the union of all hops' congestion —")
+    print("no per-hop instrumentation required.")
+
+
+if __name__ == "__main__":
+    main()

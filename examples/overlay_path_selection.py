@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Overlay path selection driven by BADABING measurements.
+
+The paper's introduction names a practical application: "its use for path
+selection in peer-to-peer overlay networks". This example builds two
+candidate paths as independent dumbbell testbeds with different congestion
+regimes, measures both concurrently with identical low-impact BADABING
+configurations, and picks the path with the lower estimated loss-episode
+frequency (breaking ties on estimated duration).
+
+The decision is then checked against ground truth — the selection an
+oracle with router access would have made.
+
+Run:
+    python examples/overlay_path_selection.py
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import run_badabing
+
+N_SLOTS = 24_000  # 120 s at 5 ms slots
+P = 0.3
+
+
+@dataclass
+class PathReport:
+    name: str
+    estimated_frequency: float
+    estimated_duration: float
+    true_frequency: float
+    true_duration: float
+
+
+def measure_path(name: str, scenario: str, seed: int, **scenario_kwargs) -> PathReport:
+    result, truth = run_badabing(
+        scenario,
+        p=P,
+        n_slots=N_SLOTS,
+        seed=seed,
+        scenario_kwargs=scenario_kwargs or None,
+    )
+    duration = result.duration_seconds
+    return PathReport(
+        name=name,
+        estimated_frequency=result.frequency,
+        estimated_duration=duration if duration == duration else 0.0,  # nan -> 0
+        true_frequency=truth.frequency,
+        true_duration=truth.duration_mean,
+    )
+
+
+def pick(reports) -> PathReport:
+    return min(
+        reports,
+        key=lambda r: (r.estimated_frequency, r.estimated_duration),
+    )
+
+
+def main() -> None:
+    print("=== Overlay path selection ===")
+    print("measuring two candidate paths with identical BADABING probes...\n")
+    paths = [
+        # Path A: heavily loaded by web-like traffic with frequent surges.
+        measure_path(
+            "path-A (busy)", "harpoon_web", seed=31,
+            load_factor=0.6, surge_interval_mean=10.0,
+        ),
+        # Path B: occasional short engineered episodes, mostly idle.
+        measure_path(
+            "path-B (quiet)", "episodic_cbr", seed=32,
+            episode_durations=(0.068,), mean_spacing=20.0,
+        ),
+    ]
+
+    header = (f"{'path':<16} {'est freq':>10} {'est dur':>10} "
+              f"{'true freq':>10} {'true dur':>10}")
+    print(header)
+    print("-" * len(header))
+    for report in paths:
+        print(f"{report.name:<16} {report.estimated_frequency:>10.4f} "
+              f"{report.estimated_duration * 1000:>8.1f}ms "
+              f"{report.true_frequency:>10.4f} "
+              f"{report.true_duration * 1000:>8.1f}ms")
+
+    chosen = pick(paths)
+    oracle = min(paths, key=lambda r: (r.true_frequency, r.true_duration))
+    print()
+    print(f"selected by BADABING estimates: {chosen.name}")
+    print(f"selected by ground-truth oracle: {oracle.name}")
+    print("agreement!" if chosen.name == oracle.name else "disagreement "
+          "(rerun with larger N for tighter estimates)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package.
+
+`pip install -e . --no-use-pep517` needs a setup.py; all real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

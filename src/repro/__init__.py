@@ -1,0 +1,58 @@
+"""repro — reproduction of "Improving Accuracy in End-to-end Packet Loss
+Measurement" (Sommers, Barford, Duffield, Ron — SIGCOMM 2005).
+
+The package provides:
+
+* :mod:`repro.core` — the BADABING probe process, estimators, validation,
+  and the ZING / PING-like baselines;
+* :mod:`repro.net` — the packet-level network simulator substrate
+  (testbed replica, drop-tail bottleneck, ground-truth monitors);
+* :mod:`repro.traffic` — TCP Reno, CBR/Iperf-like, and Harpoon-like
+  traffic generators;
+* :mod:`repro.analysis` — router-centric loss-episode extraction and
+  statistics;
+* :mod:`repro.synthetic` — alternating-renewal congestion processes for
+  exact estimator validation;
+* :mod:`repro.experiments` — the harness that regenerates every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.experiments import run_badabing
+
+    result, truth = run_badabing("episodic_cbr", p=0.3, n_slots=60_000)
+    print(f"true F={truth.frequency:.4f}  estimated F={result.frequency:.4f}")
+    print(f"true D={truth.duration_mean:.3f}s  "
+          f"estimated D={result.duration_seconds:.3f}s")
+"""
+
+from repro.config import (
+    BadabingConfig,
+    MarkingConfig,
+    ProbeConfig,
+    TestbedConfig,
+)
+from repro.errors import (
+    ConfigurationError,
+    EstimationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BadabingConfig",
+    "MarkingConfig",
+    "ProbeConfig",
+    "TestbedConfig",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "RoutingError",
+    "EstimationError",
+    "ValidationError",
+    "__version__",
+]

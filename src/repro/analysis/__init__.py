@@ -1,0 +1,45 @@
+"""Ground-truth analysis: loss episodes, slot discretization, statistics."""
+
+from repro.analysis.episodes import (
+    LossEpisode,
+    extract_episodes,
+    episodes_from_monitor,
+    merge_episode_lists,
+)
+from repro.analysis.delays import (
+    DelayDistribution,
+    congestion_delay_ratio,
+    delay_floor,
+    owd_samples,
+    queueing_delays,
+    summarize_delays,
+)
+from repro.analysis.slots import (
+    congested_slot_count,
+    congested_slot_set,
+    slot_of,
+    true_frequency,
+    make_in_episode,
+)
+from repro.analysis.stats import SummaryStats, summarize, mean_std
+
+__all__ = [
+    "LossEpisode",
+    "extract_episodes",
+    "episodes_from_monitor",
+    "merge_episode_lists",
+    "DelayDistribution",
+    "congestion_delay_ratio",
+    "delay_floor",
+    "owd_samples",
+    "queueing_delays",
+    "summarize_delays",
+    "congested_slot_count",
+    "congested_slot_set",
+    "slot_of",
+    "true_frequency",
+    "make_in_episode",
+    "SummaryStats",
+    "summarize",
+    "mean_std",
+]

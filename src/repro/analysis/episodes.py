@@ -1,0 +1,148 @@
+"""Router-centric loss-episode extraction (§3 definitions).
+
+A loss episode begins when the bottleneck buffer is exceeded (the first
+drop) and ends when drops cease and the queue drains. The paper
+operationalized this for bursty traffic as: trace segments whose first and
+last events are packet losses, with the queueing delay of everything in
+between staying "within 10 milliseconds of the maximum" (i.e., above a
+high-water mark).
+
+:func:`extract_episodes` implements exactly that rule using the two compact
+streams the :class:`~repro.net.monitor.QueueMonitor` records: drop times and
+high-water *down-crossing* times. Two consecutive drops belong to the same
+episode iff the queue never fell below the high-water mark between them and
+they are not separated by more than ``max_gap`` (the paper: "longer than a
+typical RTT" of quiescence ends an episode).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.net.monitor import QueueMonitor
+
+
+@dataclass(frozen=True)
+class LossEpisode:
+    """One loss episode: first drop, last drop, and how many drops."""
+
+    start: float
+    end: float
+    drops: int
+
+    @property
+    def duration(self) -> float:
+        """Episode duration in seconds (0 for an isolated drop)."""
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"episode ends before it starts: [{self.start}, {self.end}]"
+            )
+        if self.drops < 1:
+            raise ConfigurationError("an episode contains at least one drop")
+
+
+def extract_episodes(
+    drop_times: Sequence[float],
+    down_crossings: Sequence[float] = (),
+    max_gap: float = 0.5,
+) -> List[LossEpisode]:
+    """Group drop timestamps into loss episodes.
+
+    Parameters
+    ----------
+    drop_times:
+        Chronologically sorted drop timestamps.
+    down_crossings:
+        Chronologically sorted times at which the queue fell below the
+        high-water mark. A down-crossing strictly between two drops splits
+        them into separate episodes regardless of their spacing.
+    max_gap:
+        Maximum silent gap (seconds) inside one episode.
+    """
+    if max_gap <= 0:
+        raise ConfigurationError(f"max_gap must be positive, got {max_gap}")
+    episodes: List[LossEpisode] = []
+    if not drop_times:
+        return episodes
+    crossings = list(down_crossings)
+    start = prev = drop_times[0]
+    count = 1
+    for time in drop_times[1:]:
+        if time < prev:
+            raise ConfigurationError("drop_times must be sorted")
+        split = (time - prev) > max_gap or _crossing_between(crossings, prev, time)
+        if split:
+            episodes.append(LossEpisode(start, prev, count))
+            start = time
+            count = 1
+        else:
+            count += 1
+        prev = time
+    episodes.append(LossEpisode(start, prev, count))
+    return episodes
+
+
+def _crossing_between(crossings: List[float], lo: float, hi: float) -> bool:
+    """True iff some crossing time falls strictly inside (lo, hi)."""
+    index = bisect.bisect_right(crossings, lo)
+    return index < len(crossings) and crossings[index] < hi
+
+
+def merge_episode_lists(
+    episode_lists: Sequence[Sequence[LossEpisode]],
+    join_gap: float = 0.0,
+) -> List[LossEpisode]:
+    """Union per-hop episode lists into path-level congestion episodes.
+
+    On a multi-hop path, the end-to-end congestion state is the union of
+    the hops' states: a path episode is a maximal interval covered by at
+    least one hop-level episode (intervals closer than ``join_gap`` are
+    joined). Drop counts add up.
+    """
+    if join_gap < 0:
+        raise ConfigurationError(f"join_gap must be >= 0, got {join_gap}")
+    episodes = sorted(
+        (episode for episodes in episode_lists for episode in episodes),
+        key=lambda episode: episode.start,
+    )
+    if not episodes:
+        return []
+    merged: List[LossEpisode] = []
+    current_start = episodes[0].start
+    current_end = episodes[0].end
+    current_drops = episodes[0].drops
+    for episode in episodes[1:]:
+        if episode.start <= current_end + join_gap:
+            current_end = max(current_end, episode.end)
+            current_drops += episode.drops
+        else:
+            merged.append(LossEpisode(current_start, current_end, current_drops))
+            current_start = episode.start
+            current_end = episode.end
+            current_drops = episode.drops
+    merged.append(LossEpisode(current_start, current_end, current_drops))
+    return merged
+
+
+def episodes_from_monitor(
+    monitor: "QueueMonitor",
+    max_gap: float = 0.5,
+    protocol: Optional[str] = None,
+) -> List[LossEpisode]:
+    """Extract loss episodes from a bottleneck :class:`QueueMonitor`.
+
+    ``protocol`` optionally restricts the drop events considered (normally
+    left as None: the episode is a property of the router, not of any one
+    flow — the paper's "router-centric view").
+    """
+    return extract_episodes(
+        monitor.drop_times(protocol), monitor.down_crossings, max_gap=max_gap
+    )

@@ -1,0 +1,69 @@
+"""Time discretization helpers.
+
+The probe-process model (§5) is formulated in discrete 5 ms slots; the
+paper's "true" loss frequency is the fraction of slots overlapping a loss
+episode. These helpers convert between continuous episode intervals and
+slot indices.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, List, Sequence, Set
+
+from repro.analysis.episodes import LossEpisode
+from repro.errors import ConfigurationError
+
+
+def slot_of(time: float, slot: float) -> int:
+    """Index of the slot containing ``time``."""
+    if slot <= 0:
+        raise ConfigurationError(f"slot width must be positive, got {slot}")
+    return int(time / slot)
+
+
+def congested_slot_set(
+    episodes: Sequence[LossEpisode], slot: float, n_slots: int
+) -> Set[int]:
+    """The set of slot indices (0..n_slots-1) overlapping any episode."""
+    congested: Set[int] = set()
+    for episode in episodes:
+        first = max(0, slot_of(episode.start, slot))
+        last = min(n_slots - 1, slot_of(episode.end, slot))
+        congested.update(range(first, last + 1))
+    return congested
+
+
+def congested_slot_count(
+    episodes: Sequence[LossEpisode], slot: float, n_slots: int
+) -> int:
+    """Number of congested slots, counting overlaps once."""
+    return len(congested_slot_set(episodes, slot, n_slots))
+
+
+def true_frequency(
+    episodes: Sequence[LossEpisode], slot: float, n_slots: int
+) -> float:
+    """True congestion frequency F: congested slots / total slots."""
+    if n_slots <= 0:
+        raise ConfigurationError(f"n_slots must be positive, got {n_slots}")
+    return congested_slot_count(episodes, slot, n_slots) / n_slots
+
+
+def make_in_episode(episodes: Sequence[LossEpisode]) -> Callable[[float], bool]:
+    """Build a fast ``time -> inside-any-episode`` predicate.
+
+    Episodes must be chronologically sorted and non-overlapping (which is
+    what :func:`~repro.analysis.episodes.extract_episodes` produces).
+    """
+    starts: List[float] = [episode.start for episode in episodes]
+    ends: List[float] = [episode.end for episode in episodes]
+    for i in range(1, len(starts)):
+        if starts[i] < ends[i - 1]:
+            raise ConfigurationError("episodes must be sorted and disjoint")
+
+    def in_episode(time: float) -> bool:
+        index = bisect.bisect_right(starts, time) - 1
+        return index >= 0 and time <= ends[index]
+
+    return in_episode

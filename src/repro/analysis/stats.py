@@ -1,0 +1,51 @@
+"""Small statistics helpers used across tables and experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and *population* standard deviation (paper tables report µ (σ)).
+
+    Returns (0.0, 0.0) for an empty sequence — matching how the paper's
+    tables report "0 (0)" when a tool observed nothing.
+    """
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(variance)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary for a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def stderr(self) -> float:
+        """Standard error of the mean (0 when fewer than 2 samples)."""
+        if self.n < 2:
+            return 0.0
+        return self.std / math.sqrt(self.n)
+
+    def ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.stderr()
+        return self.mean - half, self.mean + half
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Build a :class:`SummaryStats` (zeros for an empty sample)."""
+    if not values:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0)
+    mean, std = mean_std(values)
+    return SummaryStats(len(values), mean, std, min(values), max(values))

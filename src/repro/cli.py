@@ -1,0 +1,255 @@
+"""Command-line front end: ``badabing-sim`` / ``python -m repro``.
+
+Subcommands:
+
+* ``measure`` — run one BADABING measurement against a chosen traffic
+  scenario and print the estimate vs ground truth;
+* ``zing`` — run the Poisson baseline the same way;
+* ``table`` — reproduce one of the paper's tables (1-8);
+* ``figure`` — reproduce one of the paper's figures (4-9b);
+* ``list`` — show available scenarios, tables, and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures as _figures
+from repro.experiments import render as _render
+from repro.experiments import tables as _tables
+from repro.experiments.profiles import PROFILES, active_profile
+from repro.experiments.runner import SCENARIOS, run_badabing, run_zing
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default=None,
+        help="run-length profile (default: REPRO_PROFILE env or 'fast')",
+    )
+
+
+def _resolve_profile(name: Optional[str]):
+    return PROFILES[name] if name else active_profile()
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    profile = _resolve_profile(args.profile)
+    n_slots = args.slots if args.slots else profile.n_slots
+    keep = {}
+    result, truth = run_badabing(
+        args.scenario,
+        p=args.p,
+        n_slots=n_slots,
+        seed=args.seed,
+        improved=args.improved,
+        warmup=profile.warmup,
+        keep=keep,
+    )
+    if args.save:
+        from repro.io import save_measurement
+
+        save_measurement(
+            args.save,
+            keep["tool"],
+            metadata={"scenario": args.scenario, "seed": args.seed},
+        )
+        print(f"trace saved to {args.save}")
+    print(f"scenario={args.scenario} p={args.p} N={n_slots} (seed {args.seed})")
+    print(f"probes sent: {result.n_probes_sent}  load: {result.probe_load_bps / 1e3:.0f} kb/s")
+    print(f"loss frequency: true={truth.frequency:.4f}  estimated={result.frequency:.4f}")
+    duration = result.duration_seconds
+    duration_text = "n/a (no transitions observed)" if math.isnan(duration) else f"{duration:.3f}s"
+    print(
+        f"loss duration:  true={truth.duration_mean:.3f}s "
+        f"(σ {truth.duration_std:.3f})  estimated={duration_text}"
+    )
+    validation = result.validation
+    print(
+        f"validation: transitions={validation.transition_count} "
+        f"asymmetry={validation.transition_asymmetry:.3f} "
+        f"violations={validation.violations}"
+    )
+    return 0
+
+
+def _cmd_zing(args: argparse.Namespace) -> int:
+    profile = _resolve_profile(args.profile)
+    result, truth = run_zing(
+        args.scenario,
+        mean_interval=1.0 / args.rate,
+        packet_size=args.size,
+        duration=args.duration if args.duration else profile.tool_duration,
+        seed=args.seed,
+        warmup=profile.warmup,
+    )
+    print(f"scenario={args.scenario} rate={args.rate}Hz size={args.size}B")
+    print(f"probes sent: {result.n_sent}  lost: {result.n_lost}")
+    print(f"loss frequency: true={truth.frequency:.4f}  reported={result.frequency:.4f}")
+    print(
+        f"loss duration:  true={truth.duration_mean:.3f}s "
+        f"(σ {truth.duration_std:.3f})  reported={result.duration_mean:.3f}s"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.config import MarkingConfig
+    from repro.io import load_measurement, reestimate
+
+    measurement = load_measurement(args.trace)
+    result = reestimate(
+        measurement, marking=MarkingConfig(alpha=args.alpha, tau=args.tau)
+    )
+    print(
+        f"trace: {args.trace} (N={measurement.n_slots}, p={measurement.p}, "
+        f"{len(measurement.probes)} probes)"
+    )
+    if measurement.metadata:
+        print(f"metadata: {measurement.metadata}")
+    print(f"marking: alpha={args.alpha} tau={args.tau * 1000:.0f}ms")
+    print(f"estimated loss frequency: {result.frequency:.4f}")
+    duration = result.duration_seconds
+    duration_text = (
+        "n/a (no transitions observed)" if math.isnan(duration) else f"{duration:.3f}s"
+    )
+    print(f"estimated loss duration:  {duration_text}")
+    validation = result.validation
+    print(
+        f"validation: transitions={validation.transition_count} "
+        f"asymmetry={validation.transition_asymmetry:.3f} "
+        f"violations={validation.violations}"
+    )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    key = f"table{args.number}"
+    builder = _tables.ALL_TABLES.get(key)
+    if builder is None:
+        print(f"unknown table {args.number}; choose 1-8", file=sys.stderr)
+        return 2
+    profile = _resolve_profile(args.profile)
+    kwargs = {"profile": profile}
+    if args.seed:
+        kwargs["seed"] = args.seed
+    print(_render.render_table(builder(**kwargs)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    key = args.name if args.name.startswith("fig") else f"fig{args.name}"
+    builder = _figures.ALL_FIGURES.get(key)
+    if builder is None:
+        print(
+            f"unknown figure {args.name}; choose from {sorted(_figures.ALL_FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    profile = _resolve_profile(args.profile)
+    result = builder(profile=profile)
+    if key in ("fig4", "fig5", "fig6"):
+        print(_render.render_queue_series(result))
+    elif key == "fig7":
+        print(_render.render_train_sensitivity(result))
+    elif key == "fig8":
+        print(_render.render_probe_impact(result))
+    else:
+        print(_render.render_sensitivity(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.report import write_report
+
+    profile = _resolve_profile(args.profile)
+    output = pathlib.Path(args.out) if args.out else None
+    path = write_report(pathlib.Path(args.results_dir), profile.name, output)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("scenarios:", ", ".join(sorted(SCENARIOS)))
+    print("tables:   ", ", ".join(sorted(_tables.ALL_TABLES)))
+    print("figures:  ", ", ".join(sorted(_figures.ALL_FIGURES)))
+    print("profiles: ", ", ".join(sorted(PROFILES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="badabing-sim",
+        description="Reproduction of SIGCOMM'05 'Improving Accuracy in "
+        "End-to-end Packet Loss Measurement' (BADABING).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    measure = commands.add_parser("measure", help="run one BADABING measurement")
+    measure.add_argument("scenario", choices=sorted(SCENARIOS))
+    measure.add_argument("--p", type=float, default=0.3, help="per-slot probe probability")
+    measure.add_argument("--slots", type=int, default=0, help="number of 5ms slots (N)")
+    measure.add_argument("--seed", type=int, default=1)
+    measure.add_argument("--improved", action="store_true", help="use the §5.3 improved algorithm")
+    measure.add_argument("--save", default="", help="save the measurement trace (JSONL)")
+    _add_profile_argument(measure)
+    measure.set_defaults(handler=_cmd_measure)
+
+    analyze = commands.add_parser(
+        "analyze", help="re-analyze a saved measurement trace offline"
+    )
+    analyze.add_argument("trace", help="path to a badabing-trace JSONL file")
+    analyze.add_argument("--alpha", type=float, default=0.1, help="§6.1 delay fraction")
+    analyze.add_argument("--tau", type=float, default=0.080, help="§6.1 loss proximity window (s)")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    zing = commands.add_parser("zing", help="run the Poisson (ZING) baseline")
+    zing.add_argument("scenario", choices=sorted(SCENARIOS))
+    zing.add_argument("--rate", type=float, default=10.0, help="mean probe rate in Hz")
+    zing.add_argument("--size", type=int, default=256, help="probe size in bytes")
+    zing.add_argument("--duration", type=float, default=0.0, help="seconds of probing")
+    zing.add_argument("--seed", type=int, default=1)
+    _add_profile_argument(zing)
+    zing.set_defaults(handler=_cmd_zing)
+
+    table = commands.add_parser("table", help="reproduce a paper table (1-8)")
+    table.add_argument("number", type=int)
+    table.add_argument("--seed", type=int, default=0)
+    _add_profile_argument(table)
+    table.set_defaults(handler=_cmd_table)
+
+    figure = commands.add_parser("figure", help="reproduce a paper figure (4..9b)")
+    figure.add_argument("name", help="4, 5, 6, 7, 8, 9a or 9b")
+    _add_profile_argument(figure)
+    figure.set_defaults(handler=_cmd_figure)
+
+    report = commands.add_parser(
+        "report", help="collate archived benchmark results into one markdown report"
+    )
+    report.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory of archived results (default: benchmarks/results)",
+    )
+    report.add_argument("--out", default="", help="output path (default: <results>/REPORT.<profile>.md)")
+    _add_profile_argument(report)
+    report.set_defaults(handler=_cmd_report)
+
+    lister = commands.add_parser("list", help="list scenarios/tables/figures")
+    lister.set_defaults(handler=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

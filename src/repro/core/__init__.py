@@ -1,0 +1,70 @@
+"""The paper's contribution: the BADABING probe process and estimators.
+
+* :mod:`repro.core.records` — probe records and experiment outcomes,
+* :mod:`repro.core.schedule` — the geometric experiment schedule (§5.2/§5.3),
+* :mod:`repro.core.marking` — loss + one-way-delay congestion marking (§6.1),
+* :mod:`repro.core.estimators` — frequency and duration estimators (§5.2.2,
+  §5.3.1),
+* :mod:`repro.core.validation` — the §5.4 validation tests and stopping rule,
+* :mod:`repro.core.adaptive` — open-ended measurement driven by validation,
+* :mod:`repro.core.badabing` — the BADABING tool running on the simulator,
+* :mod:`repro.core.zing` — the ZING Poisson baseline (§4),
+* :mod:`repro.core.pinglike` — fixed-interval PING-like baseline,
+* :mod:`repro.core.jitter` — probe launch-time jitter models (host realism),
+* :mod:`repro.core.clock` — clock offset/skew models and removal (§7).
+"""
+
+from repro.core.records import ExperimentOutcome, ProbeRecord
+from repro.core.schedule import GeometricSchedule
+from repro.core.marking import CongestionMarker, MarkingResult
+from repro.core.estimators import LossEstimate, estimate_from_outcomes, predicted_duration_stddev
+from repro.core.parametric import GilbertEstimate, estimate_gilbert
+from repro.core.planning import MeasurementPlan, plan_measurement, required_p, required_slots
+from repro.core.streaming import WindowedEstimator, WindowPoint, detect_level_shift
+from repro.core.uncertainty import BootstrapResult, bootstrap_estimates
+from repro.core.validation import ValidationReport, SequentialValidator
+from repro.core.adaptive import AdaptiveMeasurement, AdaptiveOutcome
+from repro.core.badabing import BadabingResult, BadabingTool
+from repro.core.zing import ZingResult, ZingTool
+from repro.core.pinglike import PingLikeTool
+from repro.core.jitter import GaussianJitter, NoJitter, SpikeJitter, UniformJitter
+from repro.core.clock import Clock, deskew_probe_records, estimate_skew, remove_skew
+
+__all__ = [
+    "ExperimentOutcome",
+    "ProbeRecord",
+    "GeometricSchedule",
+    "CongestionMarker",
+    "MarkingResult",
+    "LossEstimate",
+    "estimate_from_outcomes",
+    "predicted_duration_stddev",
+    "GilbertEstimate",
+    "estimate_gilbert",
+    "MeasurementPlan",
+    "plan_measurement",
+    "required_p",
+    "required_slots",
+    "WindowedEstimator",
+    "WindowPoint",
+    "detect_level_shift",
+    "BootstrapResult",
+    "bootstrap_estimates",
+    "ValidationReport",
+    "SequentialValidator",
+    "AdaptiveMeasurement",
+    "AdaptiveOutcome",
+    "BadabingResult",
+    "BadabingTool",
+    "ZingResult",
+    "ZingTool",
+    "PingLikeTool",
+    "NoJitter",
+    "UniformJitter",
+    "GaussianJitter",
+    "SpikeJitter",
+    "Clock",
+    "deskew_probe_records",
+    "estimate_skew",
+    "remove_skew",
+]

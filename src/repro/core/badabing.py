@@ -1,0 +1,271 @@
+"""The BADABING tool: probe emission, collection, and estimation.
+
+One :class:`BadabingTool` couples a sender application and a receiver
+application on two simulator hosts:
+
+* the sender walks a :class:`~repro.core.schedule.GeometricSchedule`,
+  emitting one probe (a train of ``packets_per_probe`` packets,
+  ``intra_probe_gap`` apart) at the start of every covered slot, optionally
+  displaced by a jitter model and timestamped by a (possibly skewed) clock;
+* the receiver logs arrivals with its own clock;
+* :meth:`BadabingTool.result` joins the two logs into
+  :class:`~repro.core.records.ProbeRecord` objects, applies the §6.1
+  congestion marking, assembles experiment outcomes, and runs the §5
+  estimators and §5.4 validation.
+
+The probe packets travel as protocol ``"probe"`` so the bottleneck monitor
+can attribute drops (used by the Figure 8 analysis of probe impact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import BadabingConfig, MarkingConfig
+from repro.core.clock import Clock
+from repro.core.estimators import LossEstimate, estimate_from_outcomes
+from repro.core.jitter import JitterModel, NoJitter
+from repro.core.marking import CongestionMarker, MarkingResult
+from repro.core.records import ExperimentOutcome, ProbeRecord
+from repro.core.schedule import GeometricSchedule
+from repro.core.validation import ValidationReport, validate_outcomes
+from repro.net.node import Host
+from repro.net.simulator import Simulator
+from repro.traffic.base import Application, ephemeral_port
+
+PROBE_PROTOCOL = "probe"
+
+
+class _ProbeSender(Application):
+    """Emits the scheduled probe trains and logs send timestamps."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        schedule: GeometricSchedule,
+        slot_width: float,
+        probe_size: int,
+        packets_per_probe: int,
+        intra_probe_gap: float,
+        start: float,
+        jitter: JitterModel,
+        clock: Clock,
+        rng_label: str,
+    ):
+        super().__init__(sim, host, PROBE_PROTOCOL)
+        self.dst = dst
+        self.dst_port = dst_port
+        self.probe_size = probe_size
+        self.packets_per_probe = packets_per_probe
+        self.intra_probe_gap = intra_probe_gap
+        self.clock = clock
+        #: (slot, packet index) -> (true send time, sender-clock timestamp).
+        self.sent: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        rng = sim.rng(rng_label + "-jitter")
+        for slot in schedule.probe_slots:
+            nominal = start + slot * slot_width
+            sim.schedule_at(nominal + jitter.sample(rng), self._emit_probe, slot)
+
+    def _emit_probe(self, slot: int) -> None:
+        for index in range(self.packets_per_probe):
+            self.sim.schedule(index * self.intra_probe_gap, self._emit_packet, slot, index)
+
+    def _emit_packet(self, slot: int, index: int) -> None:
+        now = self.sim.now
+        stamp = self.clock.read(now)
+        self.sent[(slot, index)] = (now, stamp)
+        self.send_packet(
+            self.dst,
+            self.probe_size,
+            payload=(slot, index, stamp),
+            port=self.dst_port,
+            flow="badabing",
+        )
+
+
+class _ProbeReceiver(Application):
+    """Logs probe arrivals with the receiver's clock."""
+
+    def __init__(self, sim: Simulator, host: Host, clock: Clock, port: Optional[int] = None):
+        super().__init__(sim, host, PROBE_PROTOCOL, port)
+        self.clock = clock
+        #: (slot, packet index) -> receiver-clock arrival timestamp.
+        self.received: Dict[Tuple[int, int], float] = {}
+
+    def on_packet(self, packet) -> None:
+        slot, index, _stamp = packet.payload
+        self.received[(slot, index)] = self.clock.read(self.sim.now)
+
+
+@dataclass
+class BadabingResult:
+    """Everything one measurement produced."""
+
+    estimate: LossEstimate
+    validation: ValidationReport
+    marking: MarkingResult
+    probes: List[ProbeRecord]
+    outcomes: List[ExperimentOutcome]
+    n_probes_sent: int
+    probe_load_bps: float
+    slot_width: float
+
+    @property
+    def frequency(self) -> float:
+        """Estimated congestion frequency F̂."""
+        return self.estimate.frequency
+
+    @property
+    def duration_seconds(self) -> float:
+        """Estimated mean loss-episode duration D̂ in seconds (may be nan)."""
+        return self.estimate.duration_seconds(self.slot_width)
+
+    @property
+    def lost_probe_packets(self) -> int:
+        return sum(probe.lost_packets for probe in self.probes)
+
+
+class BadabingTool:
+    """Deploy BADABING between two hosts of a simulation.
+
+    Create the tool *before* running the simulator, run the simulator past
+    ``start + config.duration`` (plus a drain margin for in-flight
+    packets), then call :meth:`result`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender_host: Host,
+        receiver_host: Host,
+        config: Optional[BadabingConfig] = None,
+        start: float = 0.0,
+        jitter: Optional[JitterModel] = None,
+        sender_clock: Optional[Clock] = None,
+        receiver_clock: Optional[Clock] = None,
+        rng_label: str = "badabing",
+    ):
+        self.sim = sim
+        self.config = config if config is not None else BadabingConfig()
+        self.start = start
+        cfg = self.config
+        self.schedule = GeometricSchedule(
+            cfg.p, cfg.n_slots, sim.rng(rng_label + "-schedule"), improved=cfg.improved
+        )
+        receiver_port = ephemeral_port()
+        self.receiver = _ProbeReceiver(
+            sim,
+            receiver_host,
+            receiver_clock if receiver_clock is not None else Clock(),
+            port=receiver_port,
+        )
+        self.sender = _ProbeSender(
+            sim,
+            sender_host,
+            receiver_host.name,
+            receiver_port,
+            self.schedule,
+            cfg.probe.slot,
+            cfg.probe.probe_size,
+            cfg.probe.packets_per_probe,
+            cfg.probe.intra_probe_gap,
+            start,
+            jitter if jitter is not None else NoJitter(),
+            sender_clock if sender_clock is not None else Clock(),
+            rng_label,
+        )
+        self.marker = CongestionMarker(cfg.marking)
+
+    # ------------------------------------------------------------------ output
+    @property
+    def end_time(self) -> float:
+        """Nominal end of the probing phase (before network drain)."""
+        return self.start + self.config.duration
+
+    def probe_records(self) -> List[ProbeRecord]:
+        """Join sender and receiver logs into per-slot probe records."""
+        sent = self.sender.sent
+        received = self.receiver.received
+        k = self.config.probe.packets_per_probe
+        records: List[ProbeRecord] = []
+        for slot in self.schedule.probe_slots:
+            first = sent.get((slot, 0))
+            if first is None:
+                # The schedule may place a slot beyond the time the caller
+                # actually ran the simulator for; ignore unsent probes.
+                continue
+            send_true, _send_stamp = first
+            owds: List[float] = []
+            owd_before_loss: Optional[float] = None
+            last_owd: Optional[float] = None
+            saw_loss = False
+            incomplete = False
+            for index in range(k):
+                entry = sent.get((slot, index))
+                if entry is None:
+                    # The train is still being emitted (result() called
+                    # mid-run); treat the whole probe as not-yet-taken.
+                    incomplete = True
+                    break
+                _true_time, stamp = entry
+                arrival = received.get((slot, index))
+                if arrival is None:
+                    if not saw_loss:
+                        saw_loss = True
+                        owd_before_loss = last_owd
+                else:
+                    owd = arrival - stamp
+                    owds.append(owd)
+                    last_owd = owd
+            if incomplete:
+                continue
+            records.append(
+                ProbeRecord(
+                    slot=slot,
+                    send_time=send_true,
+                    n_packets=k,
+                    owds=tuple(owds),
+                    owd_before_loss=owd_before_loss,
+                )
+            )
+        # Launch jitter can reorder emissions relative to slot order; the
+        # marker's running OWD_max logic needs true chronological order.
+        records.sort(key=lambda record: record.send_time)
+        return records
+
+    def result(
+        self,
+        marking: Optional[MarkingConfig] = None,
+        probes: Optional[List[ProbeRecord]] = None,
+    ) -> BadabingResult:
+        """Run marking + estimation + validation over the collected logs.
+
+        ``marking`` optionally overrides the marking parameters, allowing
+        one expensive simulation run to be re-marked under many (alpha,
+        tau) settings — how the Figure 9 sensitivity sweeps are produced.
+        ``probes`` optionally substitutes pre-processed records (e.g.
+        de-skewed via :func:`repro.core.clock.deskew_probe_records`).
+        """
+        if probes is None:
+            probes = self.probe_records()
+        marker = CongestionMarker(marking) if marking is not None else self.marker
+        marked = marker.mark(probes)
+        outcomes = self.schedule.outcomes_from_states(marked.slot_states)
+        estimate = estimate_from_outcomes(outcomes, improved=self.config.improved)
+        cfg = self.config
+        return BadabingResult(
+            estimate=estimate,
+            validation=validate_outcomes(outcomes),
+            marking=marked,
+            probes=probes,
+            outcomes=outcomes,
+            n_probes_sent=self.schedule.n_probes,
+            probe_load_bps=self.schedule.probe_load_bps(
+                cfg.probe.packets_per_probe, cfg.probe.probe_size, cfg.probe.slot
+            ),
+            slot_width=cfg.probe.slot,
+        )

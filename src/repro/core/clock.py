@@ -1,0 +1,158 @@
+"""Clock models and skew removal (§7).
+
+One-way delay thresholds require the two hosts' clocks to agree. The paper
+notes that offset is trivially removable but *skew* (clocks running at
+slightly different rates) is a real concern, pointing at on-line and
+off-line synchronization algorithms. This module provides:
+
+* :class:`Clock` — an affine clock model ``c(t) = t(1 + skew) + offset``
+  attached to measurement hosts,
+* :func:`estimate_skew` — the classic convex-hull/lower-envelope linear fit
+  (Moon-Skelly-Towsley style): fit the line that lies *below* every
+  (send-time, measured-OWD) point and minimizes the total area between the
+  points and the line. True delay is always ≥ propagation, so the lower
+  envelope of measured OWDs tracks the clock drift exactly.
+* :func:`remove_skew` — subtract the fitted trend from measured delays,
+  re-anchored at the fitted envelope (so de-skewed OWDs stay positive),
+* :func:`deskew_probe_records` — the same correction applied in place over
+  a BADABING probe-record stream before marking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.records import ProbeRecord
+
+
+class Clock:
+    """Affine host clock: reads ``t * (1 + skew) + offset`` at true time t."""
+
+    def __init__(self, offset: float = 0.0, skew: float = 0.0):
+        if skew <= -1.0:
+            raise EstimationError(f"skew must exceed -1, got {skew}")
+        self.offset = offset
+        self.skew = skew
+
+    def read(self, true_time: float) -> float:
+        """Timestamp this clock produces at the given true time."""
+        return true_time * (1.0 + self.skew) + self.offset
+
+
+def lower_convex_hull(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Lower convex hull of points sorted by x (Andrew's monotone chain)."""
+    hull: List[Tuple[float, float]] = []
+    for point in points:
+        while len(hull) >= 2 and _cross(hull[-2], hull[-1], point) <= 0:
+            hull.pop()
+        hull.append(point)
+    return hull
+
+
+def _cross(o: Tuple[float, float], a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def estimate_skew(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Fit the under-line ``owd ≈ intercept + slope * t`` to OWD samples.
+
+    Returns ``(intercept, slope)``; ``slope`` is the relative clock skew
+    between receiver and sender. Among all lines through consecutive hull
+    vertices (each lies below every sample), the one minimizing the summed
+    vertical distance to the samples is chosen.
+
+    Raises :class:`EstimationError` with fewer than two distinct sample
+    times.
+    """
+    # Keep only the lowest delay per timestamp: the envelope fit ignores
+    # higher samples at the same instant, and duplicate timestamps would
+    # create vertical hull edges.
+    lowest: dict = {}
+    for t, d in points:
+        if t not in lowest or d < lowest[t]:
+            lowest[t] = d
+    cleaned = sorted(lowest.items())
+    if len(cleaned) < 2:
+        raise EstimationError("need samples at >= 2 distinct times to fit skew")
+    hull = lower_convex_hull(cleaned)
+    if len(hull) == 1:
+        return hull[0][1], 0.0
+    sum_t = sum(t for t, _ in cleaned)
+    sum_d = sum(d for _, d in cleaned)
+    n = len(cleaned)
+    best: Tuple[float, float] = (0.0, 0.0)
+    best_cost = float("inf")
+    for (t0, d0), (t1, d1) in zip(hull, hull[1:]):
+        slope = (d1 - d0) / (t1 - t0)
+        intercept = d0 - slope * t0
+        # Total vertical distance Σ(d_i − (a + b t_i)); all terms are ≥ 0
+        # because the hull edge's line is below every point over the hull
+        # segment — globally it can cut above distant points, so clamp by
+        # checking the endpoints' support later. The aggregate form is O(1).
+        cost = sum_d - (intercept * n + slope * sum_t)
+        if cost < best_cost:
+            best_cost = cost
+            best = (intercept, slope)
+    return best
+
+
+def remove_skew(
+    points: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """De-trend measured OWDs: subtract the fitted skew line, keep the level.
+
+    The returned delays are re-based so the smallest de-trended delay maps
+    to the fitted line's value at the first sample time — i.e., de-skewed
+    OWDs remain comparable to raw early-run OWDs.
+    """
+    intercept, slope = estimate_skew(points)
+    t0 = min(t for t, _ in points)
+    base = intercept + slope * t0
+    return [(t, d - (intercept + slope * t) + base) for t, d in points]
+
+
+def deskew_probe_records(probes: Sequence["ProbeRecord"]) -> List["ProbeRecord"]:
+    """Remove clock skew from the one-way delays of a probe-record stream.
+
+    Fits the skew line over every delivered packet's (send time, OWD)
+    sample and rebuilds the records with de-trended delays (including the
+    ``owd_before_loss`` OWD_max estimates). Use before
+    :meth:`~repro.core.marking.CongestionMarker.mark` when sender and
+    receiver clocks are known (or suspected) to drift — the §7 concern.
+
+    With fewer than two delivered packets there is nothing to fit; the
+    records are returned unchanged.
+    """
+    from repro.core.records import ProbeRecord as _ProbeRecord
+
+    points = [
+        (probe.send_time, owd) for probe in probes for owd in probe.owds
+    ]
+    if len(set(points)) < 2 or len({t for t, _ in points}) < 2:
+        return list(probes)
+    intercept, slope = estimate_skew(points)
+    t0 = min(t for t, _ in points)
+    base = intercept + slope * t0
+
+    def adjust(time: float, owd: float) -> float:
+        return owd - (intercept + slope * time) + base
+
+    cleaned: List["ProbeRecord"] = []
+    for probe in probes:
+        cleaned.append(
+            _ProbeRecord(
+                slot=probe.slot,
+                send_time=probe.send_time,
+                n_packets=probe.n_packets,
+                owds=tuple(adjust(probe.send_time, owd) for owd in probe.owds),
+                owd_before_loss=(
+                    adjust(probe.send_time, probe.owd_before_loss)
+                    if probe.owd_before_loss is not None
+                    else None
+                ),
+            )
+        )
+    return cleaned

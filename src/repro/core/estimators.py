@@ -1,0 +1,219 @@
+"""Frequency and duration estimators (§5.2.2 and §5.3).
+
+Notation (matching the paper):
+
+* ``M``  — number of experiments conducted,
+* ``z_i`` — first digit of ``y_i``; ``F̂ = Σ z_i / M``,
+* ``R``  — #{i : y_i ∈ {01, 10, 11}} over two-slot observations,
+* ``S``  — #{i : y_i ∈ {01, 10}},
+* Basic algorithm (assumes r = p2/p1 = 1):  ``D̂ = 2(R/S − 1) + 1``,
+* Improved algorithm: from extended experiments, ``U = #{011, 110}`` and
+  ``V = #{001, 100}`` estimate ``r = U/V`` (both state families contain the
+  same number 2B of slots in the full series, so their observation-rate
+  ratio is p2/p1), giving ``D̂ = (2V/U)(R/S − 1) + 1``.
+
+Durations are in slots; multiply by the slot width for seconds.
+
+Fidelity note: the §5.3 identity "the combined number of states 011,110 in
+the full time series is still 2B" holds when every congestion episode and
+every congestion-free gap spans at least two slots. That is §7's operating
+requirement — "the interval between the discrete time slots is smaller than
+the time scales of the congested episodes" — made precise: with 1-slot
+episodes present, U undercounts and the r-correction over-corrects. The
+estimator tests construct renewal processes that honor the assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.core.records import ExperimentOutcome
+from repro.errors import EstimationError
+
+#: Two-slot patterns contributing to R (some congestion observed).
+_R_PATTERNS = frozenset({"01", "10", "11"})
+#: Two-slot patterns contributing to S (a transition observed).
+_S_PATTERNS = frozenset({"01", "10"})
+#: Extended patterns contributing to U (adjacent-pair transitions).
+_U_PATTERNS = frozenset({"011", "110"})
+#: Extended patterns contributing to V (gap transitions).
+_V_PATTERNS = frozenset({"001", "100"})
+
+
+@dataclass
+class LossEstimate:
+    """Result of one estimation pass.
+
+    ``duration_slots`` is ``nan`` when no transition was observed (S = 0) or
+    when the improved correction was requested but U = 0; check
+    :attr:`duration_valid` before using it.
+    """
+
+    frequency: float
+    duration_slots: float
+    n_experiments: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    r_hat: Optional[float] = None
+    improved: bool = False
+
+    @property
+    def duration_valid(self) -> bool:
+        return not math.isnan(self.duration_slots)
+
+    def duration_seconds(self, slot_width: float) -> float:
+        """Convert the duration estimate to seconds."""
+        return self.duration_slots * slot_width
+
+    @property
+    def ratio_rs(self) -> float:
+        """R/S, the quotient at the heart of the duration estimator."""
+        s = self.counts.get("S", 0)
+        if s == 0:
+            return float("nan")
+        return self.counts.get("R", 0) / s
+
+    @property
+    def episode_rate_per_slot(self) -> float:
+        """Estimated loss episodes per slot (§7's L): F̂ / D̂.
+
+        F̂ is the fraction of congested slots and D̂ the mean episode
+        length in slots, so their quotient is episode starts per slot.
+        ``nan`` when the duration estimate is invalid or zero.
+        """
+        if not self.duration_valid or self.duration_slots <= 0:
+            return float("nan")
+        return self.frequency / self.duration_slots
+
+    def loss_rate(self, within_episode_drop_probability: float) -> float:
+        """§1's derived loss rate from the two measured characteristics.
+
+        The fraction of time congested (F̂) times the packet drop
+        probability while congested gives the long-run packet loss rate.
+        The drop probability is workload-specific (e.g. ``(r-B)/r`` for a
+        CBR overload of rate r over bottleneck B) and must be supplied or
+        estimated separately — the probe process itself estimates it as
+        lost probe packets / probe packets sent during congested slots.
+        """
+        if not 0 <= within_episode_drop_probability <= 1:
+            raise EstimationError(
+                "drop probability must be in [0, 1], got "
+                f"{within_episode_drop_probability}"
+            )
+        return self.frequency * within_episode_drop_probability
+
+
+def count_patterns(outcomes: Iterable[ExperimentOutcome]) -> Counter:
+    """Histogram of the y_i strings, plus the derived R/S/U/V totals.
+
+    Two-slot prefixes of extended experiments are *not* folded into R and S
+    by default — §5.3 uses triples only for estimating r. (The folding
+    variant of §5.5 is exposed via ``estimate_from_outcomes(...,
+    include_extended_prefixes=True)``.)
+    """
+    counter: Counter = Counter()
+    for outcome in outcomes:
+        pattern = outcome.as_string
+        counter[pattern] += 1
+        counter["M"] += 1
+        counter["Z"] += outcome.first_bit
+        if outcome.is_basic:
+            if pattern in _R_PATTERNS:
+                counter["R"] += 1
+            if pattern in _S_PATTERNS:
+                counter["S"] += 1
+        else:
+            if pattern in _U_PATTERNS:
+                counter["U"] += 1
+            if pattern in _V_PATTERNS:
+                counter["V"] += 1
+    return counter
+
+
+def estimate_from_outcomes(
+    outcomes: Iterable[ExperimentOutcome],
+    improved: Optional[bool] = None,
+    include_extended_prefixes: bool = False,
+) -> LossEstimate:
+    """Run the §5 estimators over a set of experiment outcomes.
+
+    Parameters
+    ----------
+    outcomes:
+        The measured y_i values.
+    improved:
+        Force the improved (r-corrected) duration estimator on/off. By
+        default it is used iff any extended experiments are present.
+    include_extended_prefixes:
+        §5.5 modification: also count the first two digits of extended
+        experiments toward R and S, increasing the sample size.
+
+    Raises
+    ------
+    EstimationError
+        If no experiments were provided at all.
+    """
+    outcome_list = list(outcomes)
+    if not outcome_list:
+        raise EstimationError("no experiments to estimate from")
+    counter = count_patterns(outcome_list)
+
+    if include_extended_prefixes:
+        for outcome in outcome_list:
+            if outcome.is_extended:
+                prefix = outcome.as_string[:2]
+                if prefix in _R_PATTERNS:
+                    counter["R"] += 1
+                if prefix in _S_PATTERNS:
+                    counter["S"] += 1
+
+    m = counter["M"]
+    frequency = counter["Z"] / m
+
+    has_extended = any(outcome.is_extended for outcome in outcome_list)
+    use_improved = has_extended if improved is None else improved
+
+    r_hat: Optional[float] = None
+    s = counter["S"]
+    r = counter["R"]
+    if s == 0:
+        duration = float("nan")
+    else:
+        base_term = r / s - 1.0
+        if use_improved:
+            u, v = counter["U"], counter["V"]
+            if u == 0:
+                duration = float("nan")
+            else:
+                r_hat = u / v if v > 0 else float("inf")
+                duration = (2.0 * v / u) * base_term + 1.0
+        else:
+            duration = 2.0 * base_term + 1.0
+
+    counts = {
+        key: counter.get(key, 0)
+        for key in ("R", "S", "U", "V", "01", "10", "11", "001", "100", "011", "110", "010", "101", "00", "000", "111")
+    }
+    return LossEstimate(
+        frequency=frequency,
+        duration_slots=duration,
+        n_experiments=m,
+        counts=counts,
+        r_hat=r_hat,
+        improved=use_improved,
+    )
+
+
+def predicted_duration_stddev(p: float, n_slots: int, loss_event_rate: float) -> float:
+    """§7's guidance: StdDev(duration) ≈ 1 / sqrt(p · N · L).
+
+    ``loss_event_rate`` is L, the mean number of loss events per slot.
+    Used to choose (p, N) for a target accuracy before measuring.
+    """
+    if p <= 0 or n_slots <= 0 or loss_event_rate <= 0:
+        raise EstimationError(
+            f"p, N and L must all be positive (got {p}, {n_slots}, {loss_event_rate})"
+        )
+    return 1.0 / math.sqrt(p * n_slots * loss_event_rate)

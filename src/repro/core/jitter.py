@@ -1,0 +1,80 @@
+"""Probe launch-time jitter models.
+
+The real BADABING runs on commodity hosts whose OS scheduler (or, in this
+reproduction's framing, a Python interpreter) delays probe transmissions by
+variable amounts — the main practical threat to a discrete-time probe
+process ("the interval between the discrete time slots [must be] smaller
+than the time scales of the congested episodes", §7). The simulator's
+timing is perfect, so host realism is *injected* through these models and
+studied as an ablation.
+
+All models return a non-negative delay to add to the nominal slot boundary:
+real schedulers make you late, never early.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class JitterModel:
+    """Base class: draw a send-time displacement in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class NoJitter(JitterModel):
+    """Perfect timing (the simulator default)."""
+
+    def sample(self, rng: random.Random) -> float:
+        return 0.0
+
+
+class UniformJitter(JitterModel):
+    """Uniform lateness in [0, max_delay] — coarse scheduler quantum."""
+
+    def __init__(self, max_delay: float):
+        if max_delay < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        self.max_delay = max_delay
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(0.0, self.max_delay)
+
+
+class GaussianJitter(JitterModel):
+    """Half-normal lateness — typical interrupt/timer dispersion."""
+
+    def __init__(self, sigma: float):
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = sigma
+
+    def sample(self, rng: random.Random) -> float:
+        return abs(rng.gauss(0.0, self.sigma))
+
+
+class SpikeJitter(JitterModel):
+    """Mostly-small lateness with occasional large spikes.
+
+    Models garbage-collection pauses / scheduling preemption: with
+    probability ``spike_prob`` the probe is late by ``spike_delay``,
+    otherwise by a half-normal draw with ``base_sigma``.
+    """
+
+    def __init__(self, base_sigma: float, spike_prob: float, spike_delay: float):
+        if base_sigma < 0 or spike_delay < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if not 0 <= spike_prob <= 1:
+            raise ConfigurationError(f"spike_prob must be in [0,1], got {spike_prob}")
+        self.base_sigma = base_sigma
+        self.spike_prob = spike_prob
+        self.spike_delay = spike_delay
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.spike_prob:
+            return self.spike_delay
+        return abs(rng.gauss(0.0, self.base_sigma))

@@ -1,0 +1,45 @@
+"""Fixed-interval (PING-like) probing.
+
+The paper's introduction frames the problem with "PING-like tools [that]
+send probe packets to a target host at fixed intervals". This baseline
+reuses the ZING machinery with a constant interval process, giving the
+third point of comparison (periodic vs Poisson vs BADABING) used by the
+scheduling ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.zing import ZingResult, ZingTool
+from repro.net.node import Host
+from repro.net.simulator import Simulator
+
+
+class PingLikeTool(ZingTool):
+    """A :class:`~repro.core.zing.ZingTool` with deterministic spacing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender_host: Host,
+        receiver_host: Host,
+        interval: float,
+        packet_size: int = 64,
+        duration: float = 900.0,
+        start: float = 0.0,
+        flight: int = 1,
+    ):
+        super().__init__(
+            sim,
+            sender_host,
+            receiver_host,
+            mean_interval=interval,
+            packet_size=packet_size,
+            duration=duration,
+            start=start,
+            flight=flight,
+            interval=lambda: interval,
+            rng_label="pinglike",
+        )
+
+
+__all__ = ["PingLikeTool", "ZingResult"]

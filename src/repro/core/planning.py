@@ -1,0 +1,135 @@
+"""Measurement planning (§7).
+
+§7 reduces parameter choice to one formula: with L the mean number of loss
+events per slot (assumed stationary), the duration estimate's accuracy
+follows ``StdDev(duration) ≈ 1 / sqrt(p · N · L)`` — "the individual
+choice of p and N allow a trade off between timeliness of results and
+impact that the user is willing to have on the link. Prior empirical
+studies can provide initial estimates of L."
+
+This module turns that guidance into an API: given a target accuracy and
+an L estimate (from a previous measurement's
+:attr:`~repro.experiments.runner.GroundTruth.loss_event_rate_per_slot`, a
+prior :class:`~repro.core.estimators.LossEstimate`'s
+``episode_rate_per_slot``, or operator knowledge), compute the missing
+parameter and the resulting probe load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import ProbeConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """A resolved (p, N) choice with its predicted cost and accuracy."""
+
+    p: float
+    n_slots: int
+    loss_event_rate: float
+    predicted_duration_stddev: float
+    probe_config: ProbeConfig
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock length of the planned measurement."""
+        return self.n_slots * self.probe_config.slot
+
+    @property
+    def probe_load_bps(self) -> float:
+        """Expected average probe bit rate (shared-probe coverage model)."""
+        coverage = 1.0 - (1.0 - self.p) ** 2
+        cfg = self.probe_config
+        return coverage * cfg.packets_per_probe * cfg.probe_size * 8 / cfg.slot
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"p={self.p:g}, N={self.n_slots} "
+            f"({self.duration_seconds:.0f}s at {self.probe_config.slot * 1000:g}ms slots), "
+            f"load ~{self.probe_load_bps / 1e3:.0f} kb/s, "
+            f"predicted StdDev(D) ~{self.predicted_duration_stddev:.2f}"
+        )
+
+
+def _validate_common(loss_event_rate: float, target_stddev: float) -> None:
+    if loss_event_rate <= 0:
+        raise ConfigurationError(
+            f"loss_event_rate must be positive, got {loss_event_rate} "
+            "(estimate it from a prior run's loss_event_rate_per_slot)"
+        )
+    if target_stddev <= 0:
+        raise ConfigurationError(
+            f"target_stddev must be positive, got {target_stddev}"
+        )
+
+
+def required_slots(
+    p: float, loss_event_rate: float, target_stddev: float
+) -> int:
+    """Smallest N meeting the accuracy target at probe probability ``p``.
+
+    Inverts §7's formula: ``N >= 1 / (p · L · target²)``.
+    """
+    if not 0 < p <= 1:
+        raise ConfigurationError(f"p must be in (0, 1], got {p}")
+    _validate_common(loss_event_rate, target_stddev)
+    return max(2, math.ceil(1.0 / (p * loss_event_rate * target_stddev ** 2)))
+
+
+def required_p(
+    n_slots: int, loss_event_rate: float, target_stddev: float
+) -> float:
+    """Smallest p meeting the accuracy target within ``n_slots`` slots.
+
+    Raises :class:`ConfigurationError` when even p = 1 cannot reach the
+    target in the given time — the §5.1 "accuracy determined impossible"
+    outcome, at planning time.
+    """
+    if n_slots < 2:
+        raise ConfigurationError(f"n_slots must be >= 2, got {n_slots}")
+    _validate_common(loss_event_rate, target_stddev)
+    p = 1.0 / (n_slots * loss_event_rate * target_stddev ** 2)
+    if p > 1.0:
+        raise ConfigurationError(
+            f"target StdDev {target_stddev} is unreachable in {n_slots} slots "
+            f"at L={loss_event_rate}: would need p={p:.2f} > 1; "
+            "measure longer or accept less accuracy"
+        )
+    return p
+
+
+def plan_measurement(
+    loss_event_rate: float,
+    target_stddev: float,
+    p: float = 0.0,
+    n_slots: int = 0,
+    probe: ProbeConfig = None,
+) -> MeasurementPlan:
+    """Resolve a full plan from a target accuracy plus *one* of p / N.
+
+    Exactly one of ``p`` and ``n_slots`` must be given (non-zero); the
+    other is computed. This is §7's impact-vs-timeliness dial: fix p to
+    cap probe load and learn how long to measure, or fix N to cap wait
+    time and learn how hard to probe.
+    """
+    if probe is None:
+        probe = ProbeConfig()
+    if bool(p) == bool(n_slots):
+        raise ConfigurationError("specify exactly one of p or n_slots")
+    if p:
+        n_slots = required_slots(p, loss_event_rate, target_stddev)
+    else:
+        p = required_p(n_slots, loss_event_rate, target_stddev)
+    predicted = 1.0 / math.sqrt(p * n_slots * loss_event_rate)
+    return MeasurementPlan(
+        p=p,
+        n_slots=n_slots,
+        loss_event_rate=loss_event_rate,
+        predicted_duration_stddev=predicted,
+        probe_config=probe,
+    )

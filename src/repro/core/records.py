@@ -1,0 +1,116 @@
+"""Probe records and experiment outcomes.
+
+Two data shapes flow through the BADABING pipeline:
+
+* :class:`ProbeRecord` — what one multi-packet probe measured in one slot
+  (which packets survived, with what one-way delays). Produced by joining
+  sender and receiver logs; consumed by the §6.1 marking algorithm.
+* :class:`ExperimentOutcome` — the paper's ``y_i``: the binary string of
+  congestion indications for the slots of one basic (2-slot) or extended
+  (3-slot) experiment. Consumed by the estimators and validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe (a train of packets sent back-to-back within one slot).
+
+    Attributes
+    ----------
+    slot:
+        Discrete slot index the probe targeted.
+    send_time:
+        Time the first packet left the sender (sender clock).
+    n_packets:
+        How many packets the probe comprised.
+    owds:
+        One-way delays of the packets that arrived, in packet order.
+        Lost packets simply have no entry; ``n_packets - len(owds)`` were
+        lost. Delays are measured with whatever clocks the hosts have, so
+        they may include offset/skew (see :mod:`repro.core.clock`).
+    owd_before_loss:
+        One-way delay of the most recent successfully transmitted packet
+        seen at the time a loss in this probe was detected — §6.1's
+        estimate of the maximum queue depth. None when no packet was lost
+        or no earlier delivery existed.
+    """
+
+    slot: int
+    send_time: float
+    n_packets: int
+    owds: Tuple[float, ...]
+    owd_before_loss: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_packets < 1:
+            raise ConfigurationError("a probe has at least one packet")
+        if len(self.owds) > self.n_packets:
+            raise ConfigurationError("more deliveries than packets sent")
+
+    @property
+    def lost_packets(self) -> int:
+        return self.n_packets - len(self.owds)
+
+    @property
+    def lost(self) -> bool:
+        """True if any packet of the probe was lost."""
+        return self.lost_packets > 0
+
+    @property
+    def max_owd(self) -> Optional[float]:
+        """Largest observed one-way delay, or None if all packets lost."""
+        return max(self.owds) if self.owds else None
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """The paper's y_i: per-slot congestion bits for one experiment."""
+
+    start_slot: int
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bits) not in (2, 3):
+            raise ConfigurationError(
+                f"experiments span 2 or 3 slots, got {len(self.bits)}"
+            )
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise ConfigurationError(f"bits must be 0/1, got {self.bits}")
+
+    @property
+    def is_basic(self) -> bool:
+        return len(self.bits) == 2
+
+    @property
+    def is_extended(self) -> bool:
+        return len(self.bits) == 3
+
+    @property
+    def as_string(self) -> str:
+        """The y_i notation used throughout §5, e.g. ``"01"`` or ``"110"``."""
+        return "".join(str(bit) for bit in self.bits)
+
+    @property
+    def first_bit(self) -> int:
+        """z_i, the input to the frequency estimator."""
+        return self.bits[0]
+
+
+@dataclass
+class MeasurementLog:
+    """Everything one BADABING run produced, for estimation and debugging."""
+
+    slot_width: float
+    n_slots: int
+    probes: List[ProbeRecord] = field(default_factory=list)
+    outcomes: List[ExperimentOutcome] = field(default_factory=list)
+    #: Slots whose probes were entirely lost *and* had no delay info; kept
+    #: for diagnostics (they are still marked congested — loss is loss).
+    blind_slots: int = 0

@@ -1,0 +1,121 @@
+"""Windowed (streaming) estimation over a long-running measurement.
+
+§7's "alternate design is to take measurements continuously" implies a
+monitoring deployment where loss characteristics are reported over time,
+not once. :class:`WindowedEstimator` consumes experiment outcomes in slot
+order and emits one :class:`WindowPoint` per fixed-size slot window —
+a time series of F̂ (and D̂ when the window saw enough transitions), with
+the §5.4 validation evaluated per window.
+
+This makes regime changes visible: a path whose loss-episode rate shifts
+mid-measurement shows a step in the F̂ series long before the aggregate
+estimate reflects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.estimators import estimate_from_outcomes
+from repro.core.records import ExperimentOutcome
+from repro.core.validation import validate_outcomes
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """Estimates for one window of slots."""
+
+    window_index: int
+    start_slot: int
+    end_slot: int
+    n_experiments: int
+    frequency: float
+    #: None when the window saw no transitions (duration undefined there).
+    duration_slots: Optional[float]
+    transitions: int
+    acceptable: bool
+
+    def duration_seconds(self, slot_width: float) -> Optional[float]:
+        if self.duration_slots is None:
+            return None
+        return self.duration_slots * slot_width
+
+
+class WindowedEstimator:
+    """Re-run the §5 estimators over fixed-size slot windows.
+
+    Parameters
+    ----------
+    window_slots:
+        Window width in slots (e.g. 12,000 = one minute at 5 ms).
+    min_experiments:
+        Windows with fewer experiments are skipped (no point estimating
+        from a handful of observations).
+    """
+
+    def __init__(self, window_slots: int, min_experiments: int = 10):
+        if window_slots < 2:
+            raise ConfigurationError(f"window_slots must be >= 2: {window_slots}")
+        if min_experiments < 1:
+            raise ConfigurationError(f"min_experiments must be >= 1: {min_experiments}")
+        self.window_slots = window_slots
+        self.min_experiments = min_experiments
+
+    def windows(self, outcomes: Iterable[ExperimentOutcome]) -> List[WindowPoint]:
+        """Partition outcomes by start slot and estimate each window."""
+        buckets = {}
+        for outcome in outcomes:
+            buckets.setdefault(outcome.start_slot // self.window_slots, []).append(
+                outcome
+            )
+        points: List[WindowPoint] = []
+        for index in sorted(buckets):
+            window_outcomes = buckets[index]
+            if len(window_outcomes) < self.min_experiments:
+                continue
+            estimate = estimate_from_outcomes(window_outcomes)
+            validation = validate_outcomes(window_outcomes)
+            points.append(
+                WindowPoint(
+                    window_index=index,
+                    start_slot=index * self.window_slots,
+                    end_slot=(index + 1) * self.window_slots - 1,
+                    n_experiments=len(window_outcomes),
+                    frequency=estimate.frequency,
+                    duration_slots=(
+                        estimate.duration_slots if estimate.duration_valid else None
+                    ),
+                    transitions=validation.transition_count,
+                    acceptable=validation.is_acceptable(),
+                )
+            )
+        return points
+
+
+def detect_level_shift(
+    points: List[WindowPoint], factor: float = 2.0, min_windows: int = 3
+) -> Optional[int]:
+    """Crude change detection on the F̂ series.
+
+    Returns the index (into ``points``) of the first window whose
+    frequency differs from the running mean of all preceding windows by
+    more than ``factor`` (in either direction), or None. Needs at least
+    ``min_windows`` of history before it will fire. A building block for
+    "constancy" analyses in the spirit of Zhang et al. [39].
+    """
+    if factor <= 1.0:
+        raise ConfigurationError(f"factor must exceed 1, got {factor}")
+    history: List[float] = []
+    for index, point in enumerate(points):
+        if len(history) >= min_windows:
+            mean = sum(history) / len(history)
+            if mean > 0 and (
+                point.frequency > factor * mean or point.frequency < mean / factor
+            ):
+                return index
+            if mean == 0 and point.frequency > 0:
+                return index
+        history.append(point.frequency)
+    return None

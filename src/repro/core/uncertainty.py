@@ -1,0 +1,135 @@
+"""Data-driven uncertainty for the §5 estimators (§8 future work).
+
+The paper's closing tasks include: "estimate the variability of the
+estimates of congestion frequency and duration themselves directly from
+the measured data, under a minimal set of statistical assumptions on the
+congestion process."
+
+Experiment *starts* are i.i.d. Bernoulli(p) by design, so the outcomes
+form (nearly) exchangeable draws from the path's window distribution; the
+nonparametric bootstrap over experiments therefore needs no model of the
+congestion process at all. :func:`bootstrap_estimates` resamples the
+outcome list with replacement, re-runs the §5 estimators on each
+resample, and reports percentile confidence intervals.
+
+(Adjacent experiments can overlap slots, introducing weak dependence;
+:func:`bootstrap_estimates` optionally resamples in small blocks to be
+safe, which is the standard fix.)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.estimators import estimate_from_outcomes
+from repro.core.records import ExperimentOutcome
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Percentile bootstrap intervals for F̂ and D̂."""
+
+    frequency: float
+    frequency_interval: Tuple[float, float]
+    duration_slots: float
+    duration_interval: Tuple[float, float]
+    #: Fraction of resamples on which the duration estimator was valid
+    #: (observed at least one transition). Below ~0.9, treat the duration
+    #: interval as unreliable.
+    duration_support: float
+    n_resamples: int
+    confidence: float
+
+    def duration_interval_seconds(self, slot_width: float) -> Tuple[float, float]:
+        low, high = self.duration_interval
+        return low * slot_width, high * slot_width
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted data, q in [0, 1]."""
+    if not sorted_values:
+        return float("nan")
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return sorted_values[low]
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def bootstrap_estimates(
+    outcomes: Sequence[ExperimentOutcome],
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+    block: int = 1,
+    rng: Optional[random.Random] = None,
+    improved: Optional[bool] = None,
+) -> BootstrapResult:
+    """Bootstrap percentile CIs for frequency and duration.
+
+    Parameters
+    ----------
+    outcomes:
+        Measured experiment outcomes (any mix of basic/extended).
+    n_resamples:
+        Bootstrap replicates; 200 is plenty for 95% percentile intervals.
+    block:
+        Resample contiguous blocks of this many experiments (block
+        bootstrap) to respect the slight dependence between overlapping
+        experiments. 1 = plain i.i.d. bootstrap.
+    rng:
+        Random stream (seed it for reproducibility).
+    improved:
+        Forwarded to :func:`estimate_from_outcomes`.
+    """
+    if not outcomes:
+        raise EstimationError("no outcomes to bootstrap")
+    if n_resamples < 10:
+        raise EstimationError(f"need >= 10 resamples, got {n_resamples}")
+    if not 0.5 < confidence < 1.0:
+        raise EstimationError(f"confidence must be in (0.5, 1), got {confidence}")
+    if block < 1:
+        raise EstimationError(f"block must be >= 1, got {block}")
+    if rng is None:
+        rng = random.Random(0)
+
+    point = estimate_from_outcomes(outcomes, improved=improved)
+    n = len(outcomes)
+    frequencies: List[float] = []
+    durations: List[float] = []
+    for _ in range(n_resamples):
+        resample: List[ExperimentOutcome] = []
+        while len(resample) < n:
+            start = rng.randrange(n)
+            resample.extend(outcomes[start : start + block])
+        resample = resample[:n]
+        replicate = estimate_from_outcomes(resample, improved=improved)
+        frequencies.append(replicate.frequency)
+        if replicate.duration_valid:
+            durations.append(replicate.duration_slots)
+
+    tail = (1.0 - confidence) / 2.0
+    frequencies.sort()
+    durations.sort()
+    frequency_interval = (
+        _percentile(frequencies, tail),
+        _percentile(frequencies, 1.0 - tail),
+    )
+    duration_interval = (
+        _percentile(durations, tail),
+        _percentile(durations, 1.0 - tail),
+    )
+    return BootstrapResult(
+        frequency=point.frequency,
+        frequency_interval=frequency_interval,
+        duration_slots=point.duration_slots,
+        duration_interval=duration_interval,
+        duration_support=len(durations) / n_resamples,
+        n_resamples=n_resamples,
+        confidence=confidence,
+    )

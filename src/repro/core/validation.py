@@ -1,0 +1,187 @@
+"""Validation tests and stopping criteria (§5.4).
+
+The estimators rest on symmetry assumptions that the measured data can
+check for free:
+
+* basic design: P(y = 01) = P(y = 10) — episode beginnings are observed as
+  often as endings;
+* improved design: the four patterns 01, 10, 001, 100 occur at similar
+  rates, as do 011 and 110;
+* the patterns 010 and 101 are impossible under the assumption structure
+  (a miss replaces the whole report with zeros, never flips interior bits);
+  each occurrence is a violation.
+
+:class:`ValidationReport` scores a finished measurement;
+:class:`SequentialValidator` implements the open-ended "measure until the
+estimates are trustworthy" mode sketched in §5.4/§7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.estimators import count_patterns
+from repro.core.records import ExperimentOutcome
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome-pattern symmetry diagnostics for one measurement."""
+
+    n_experiments: int
+    n01: int
+    n10: int
+    n001: int
+    n100: int
+    n011: int
+    n110: int
+    n010: int
+    n101: int
+
+    # ------------------------------------------------------------- derived
+    @property
+    def transition_count(self) -> int:
+        return self.n01 + self.n10
+
+    @property
+    def transition_asymmetry(self) -> float:
+        """|#01 − #10| / (#01 + #10); 0 is perfect symmetry.
+
+        §7: "This difference is directly proportional to the expected
+        standard deviation of the estimation."
+        """
+        total = self.transition_count
+        if total == 0:
+            return 0.0
+        return abs(self.n01 - self.n10) / total
+
+    @property
+    def extended_pair_asymmetry(self) -> float:
+        """|#011 − #110| / (#011 + #110) for the improved design."""
+        total = self.n011 + self.n110
+        if total == 0:
+            return 0.0
+        return abs(self.n011 - self.n110) / total
+
+    @property
+    def extended_gap_asymmetry(self) -> float:
+        """|#001 − #100| / (#001 + #100) for the improved design."""
+        total = self.n001 + self.n100
+        if total == 0:
+            return 0.0
+        return abs(self.n001 - self.n100) / total
+
+    @property
+    def violations(self) -> int:
+        """Occurrences of the impossible patterns 010 and 101."""
+        return self.n010 + self.n101
+
+    @property
+    def violation_rate(self) -> float:
+        """Violations per experiment."""
+        if self.n_experiments == 0:
+            return 0.0
+        return self.violations / self.n_experiments
+
+    def is_acceptable(
+        self,
+        max_asymmetry: float = 0.3,
+        max_violation_rate: float = 0.05,
+        min_transitions: int = 10,
+    ) -> bool:
+        """Overall pass/fail judgement with tunable thresholds.
+
+        A measurement with too few observed transitions is *not* failed —
+        it is simply inconclusive (and the duration estimate will be
+        invalid anyway); symmetry is only judged once ``min_transitions``
+        transitions have been seen.
+        """
+        if self.violation_rate > max_violation_rate:
+            return False
+        if self.transition_count >= min_transitions:
+            if self.transition_asymmetry > max_asymmetry:
+                return False
+        return True
+
+
+def validate_outcomes(outcomes: Iterable[ExperimentOutcome]) -> ValidationReport:
+    """Build a :class:`ValidationReport` from measured outcomes."""
+    counter = count_patterns(outcomes)
+    return ValidationReport(
+        n_experiments=counter.get("M", 0),
+        n01=counter.get("01", 0),
+        n10=counter.get("10", 0),
+        n001=counter.get("001", 0),
+        n100=counter.get("100", 0),
+        n011=counter.get("011", 0),
+        n110=counter.get("110", 0),
+        n010=counter.get("010", 0),
+        n101=counter.get("101", 0),
+    )
+
+
+class SequentialValidator:
+    """Open-ended experimentation with a §5.4-style stopping rule.
+
+    Feed outcomes as they are produced; :meth:`should_stop` turns true when
+    enough transitions have accumulated for the duration estimator's
+    predicted relative error to fall below ``target_relative_error`` *and*
+    the symmetry checks pass. ``should_abort`` turns true if the symmetry
+    discrepancy persists long past the point it should have converged —
+    the paper's "a large discrepancy that is not bridged by increasing M".
+    """
+
+    def __init__(
+        self,
+        target_relative_error: float = 0.25,
+        max_asymmetry: float = 0.3,
+        min_transitions: int = 20,
+        abort_after_transitions: int = 500,
+    ):
+        self.target_relative_error = target_relative_error
+        self.max_asymmetry = max_asymmetry
+        self.min_transitions = min_transitions
+        self.abort_after_transitions = abort_after_transitions
+        self._outcomes: List[ExperimentOutcome] = []
+
+    def add(self, outcome: ExperimentOutcome) -> None:
+        self._outcomes.append(outcome)
+
+    def extend(self, outcomes: Iterable[ExperimentOutcome]) -> None:
+        self._outcomes.extend(outcomes)
+
+    @property
+    def report(self) -> ValidationReport:
+        return validate_outcomes(self._outcomes)
+
+    def estimated_relative_error(self) -> Optional[float]:
+        """1/sqrt(S): the relative sampling error of the transition count.
+
+        S (observed transitions) plays the role of p·N·L in §7's accuracy
+        formula; with fewer than one transition the error is unbounded.
+        """
+        report = self.report
+        if report.transition_count == 0:
+            return None
+        return 1.0 / math.sqrt(report.transition_count)
+
+    def should_stop(self) -> bool:
+        report = self.report
+        if report.transition_count < self.min_transitions:
+            return False
+        error = self.estimated_relative_error()
+        if error is None or error > self.target_relative_error:
+            return False
+        return report.is_acceptable(
+            max_asymmetry=self.max_asymmetry, min_transitions=self.min_transitions
+        )
+
+    def should_abort(self) -> bool:
+        report = self.report
+        if report.transition_count < self.abort_after_transitions:
+            return False
+        return not report.is_acceptable(
+            max_asymmetry=self.max_asymmetry, min_transitions=self.min_transitions
+        )

@@ -1,0 +1,215 @@
+"""The ZING baseline: Poisson-modulated UDP probing (§4).
+
+ZING sends UDP probe packets at Poisson-modulated intervals with a fixed
+mean rate; the receiver logs arrivals. Per §4's evaluation semantics:
+
+* reported **loss frequency** is the fraction of probe packets lost — the
+  PASTA estimate of the probability a random instant is experiencing loss
+  *as seen by single packets*;
+* reported **loss episode durations** come from Zhang et al.'s definition,
+  "a series of consecutive packets (possibly only of length one) that were
+  lost": each maximal run of consecutive lost sequence numbers is an
+  episode whose duration is the span of send times from its first to its
+  last packet (zero for an isolated loss).
+
+The same machinery drives the fixed-interval PING-like baseline
+(:mod:`repro.core.pinglike`) via a different interval process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.stats import mean_std
+from repro.errors import ConfigurationError
+from repro.net.node import Host
+from repro.net.simulator import Simulator
+from repro.traffic.base import Application, ephemeral_port
+
+ZING_PROTOCOL = "zing"
+
+
+class _StreamSender(Application):
+    """Sends sequence-numbered probes at intervals drawn from a callable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        packet_size: int,
+        interval: Callable[[], float],
+        start: float,
+        stop: float,
+        flight: int = 1,
+        flight_gap: float = 30e-6,
+    ):
+        if packet_size <= 0:
+            raise ConfigurationError(f"packet_size must be positive: {packet_size}")
+        if flight < 1:
+            raise ConfigurationError(f"flight must be >= 1: {flight}")
+        if stop <= start:
+            raise ConfigurationError("stop must come after start")
+        super().__init__(sim, host, ZING_PROTOCOL)
+        self.dst = dst
+        self.dst_port = dst_port
+        self.packet_size = packet_size
+        self.interval = interval
+        self.stop = stop
+        self.flight = flight
+        self.flight_gap = flight_gap
+        self._seq = 0
+        #: seq -> send time, in send order.
+        self.sent: Dict[int, float] = {}
+        #: Per-flight grouping: flights[i] lists the seqs sent together
+        #: (used by the Figure 7 probe-train analysis).
+        self.flights: List[List[int]] = []
+        sim.schedule_at(max(start, sim.now), self._tick)
+
+    def _tick(self) -> None:
+        if self.sim.now >= self.stop:
+            return
+        group = len(self.flights)
+        self.flights.append([])
+        for index in range(self.flight):
+            self.sim.schedule(index * self.flight_gap, self._emit, group)
+        self.sim.schedule(self.interval(), self._tick)
+
+    def _emit(self, group: int) -> None:
+        self._seq += 1
+        self.flights[group].append(self._seq)
+        self.sent[self._seq] = self.sim.now
+        self.send_packet(
+            self.dst,
+            self.packet_size,
+            payload=(self._seq, self.sim.now),
+            port=self.dst_port,
+            flow="zing",
+        )
+
+
+class _StreamReceiver(Application):
+    """Logs probe arrivals."""
+
+    def __init__(self, sim: Simulator, host: Host, port: Optional[int] = None):
+        super().__init__(sim, host, ZING_PROTOCOL, port)
+        #: seq -> (send time, receive time).
+        self.received: Dict[int, Tuple[float, float]] = {}
+
+    def on_packet(self, packet) -> None:
+        seq, send_time = packet.payload
+        self.received[seq] = (send_time, self.sim.now)
+
+
+@dataclass
+class ZingResult:
+    """What the Poisson prober reports after a run."""
+
+    n_sent: int
+    n_lost: int
+    #: Maximal runs of consecutive lost probes: (first send, last send, count).
+    loss_runs: List[Tuple[float, float, int]]
+    duration_mean: float
+    duration_std: float
+    mean_owd: float
+
+    @property
+    def frequency(self) -> float:
+        """Fraction of probes lost (the tool's loss-frequency report)."""
+        if self.n_sent == 0:
+            return 0.0
+        return self.n_lost / self.n_sent
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self.loss_runs)
+
+
+class ZingTool:
+    """Deploy a Poisson (or custom-interval) prober between two hosts.
+
+    Parameters
+    ----------
+    mean_interval:
+        Mean gap between probes (paper: 100 ms at 10 Hz, 50 ms at 20 Hz).
+    packet_size:
+        Probe size in bytes (paper: 256 B at 10 Hz, 64 B at 20 Hz).
+    duration:
+        Probing phase length in seconds (paper: 15 minutes).
+    interval:
+        Override the interval process; defaults to exponential with the
+        given mean (Poisson modulation). The PING-like tool passes a
+        constant.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender_host: Host,
+        receiver_host: Host,
+        mean_interval: float,
+        packet_size: int = 256,
+        duration: float = 900.0,
+        start: float = 0.0,
+        flight: int = 1,
+        interval: Optional[Callable[[], float]] = None,
+        rng_label: str = "zing",
+    ):
+        if mean_interval <= 0:
+            raise ConfigurationError(f"mean_interval must be positive: {mean_interval}")
+        rng = sim.rng(rng_label)
+        if interval is None:
+            interval = lambda: rng.expovariate(1.0 / mean_interval)  # noqa: E731
+        port = ephemeral_port()
+        self.receiver = _StreamReceiver(sim, receiver_host, port)
+        self.sender = _StreamSender(
+            sim,
+            sender_host,
+            receiver_host.name,
+            port,
+            packet_size,
+            interval,
+            start,
+            start + duration,
+            flight=flight,
+        )
+
+    def result(self) -> ZingResult:
+        """Compute the §4 report from the sender/receiver logs."""
+        sent = self.sender.sent
+        received = self.receiver.received
+        runs: List[Tuple[float, float, int]] = []
+        run_start: Optional[float] = None
+        run_last = 0.0
+        run_count = 0
+        owds: List[float] = []
+        n_lost = 0
+        for seq in sorted(sent):
+            send_time = sent[seq]
+            if seq in received:
+                owds.append(received[seq][1] - send_time)
+                if run_start is not None:
+                    runs.append((run_start, run_last, run_count))
+                    run_start = None
+            else:
+                n_lost += 1
+                if run_start is None:
+                    run_start = send_time
+                    run_count = 0
+                run_last = send_time
+                run_count += 1
+        if run_start is not None:
+            runs.append((run_start, run_last, run_count))
+        durations = [last - first for first, last, _count in runs]
+        duration_mean, duration_std = mean_std(durations)
+        mean_owd = sum(owds) / len(owds) if owds else 0.0
+        return ZingResult(
+            n_sent=len(sent),
+            n_lost=n_lost,
+            loss_runs=runs,
+            duration_mean=duration_mean,
+            duration_std=duration_std,
+            mean_owd=mean_owd,
+        )

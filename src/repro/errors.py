@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library errors without
+swallowing programming mistakes (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class RoutingError(SimulationError):
+    """A packet could not be routed to its destination."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce a value (e.g., no observations)."""
+
+
+class ValidationError(ReproError):
+    """A measurement failed the §5.4 validation checks badly enough to abort."""

@@ -1,0 +1,25 @@
+"""Paper-reproduction harness: scenarios, runner, tables, and figures."""
+
+from repro.experiments.runner import (
+    GroundTruth,
+    build_testbed,
+    apply_scenario,
+    compute_ground_truth,
+    ground_truth_from_episodes,
+    default_marking_for,
+    run_badabing,
+    run_badabing_multihop,
+    run_zing,
+)
+
+__all__ = [
+    "GroundTruth",
+    "build_testbed",
+    "apply_scenario",
+    "compute_ground_truth",
+    "ground_truth_from_episodes",
+    "default_marking_for",
+    "run_badabing",
+    "run_badabing_multihop",
+    "run_zing",
+]

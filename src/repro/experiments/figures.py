@@ -1,0 +1,324 @@
+"""Reproduction of every figure in the paper's evaluation (Figures 4-9).
+
+Figures 1-3 are diagrams (system model, queue-evolution sketch, testbed
+wiring) with no data series; everything data-bearing is here:
+
+* Figures 4/5/6 — queue-length time series under the three traffic
+  scenarios (:func:`figure_4`, :func:`figure_5`, :func:`figure_6`);
+* Figure 7 — probability that an N-packet probe sees no loss while inside
+  a loss episode (:func:`figure_7`);
+* Figure 8 — queue dynamics during an episode with 0/3/10-packet probe
+  trains, annotated with cross-traffic and probe drops (:func:`figure_8`);
+* Figure 9 — sensitivity of estimated loss frequency to alpha (9a) and tau
+  (9b) across probe rates (:func:`figure_9a`, :func:`figure_9b`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.episodes import episodes_from_monitor
+from repro.analysis.slots import make_in_episode
+from repro.config import MarkingConfig
+from repro.core.pinglike import PingLikeTool
+from repro.errors import ConfigurationError
+from repro.experiments.profiles import Profile, active_profile
+from repro.experiments.runner import (
+    DRAIN_TIME,
+    apply_scenario,
+    build_testbed,
+    run_badabing,
+)
+
+#: Probe-rate grid for the Figure 9 sensitivity sweeps.
+FIG9_P_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@dataclass
+class QueueSeries:
+    """A queue-length time series plus the loss episodes inside it."""
+
+    name: str
+    times: List[float]
+    delays: List[float]
+    episodes: List[Tuple[float, float]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def _queue_series(
+    name: str,
+    scenario: str,
+    scenario_kwargs: Optional[Dict[str, Any]],
+    duration: float,
+    seed: int,
+    sample_interval: float = 0.005,
+    warmup: float = 10.0,
+) -> QueueSeries:
+    sim, testbed = build_testbed(seed=seed, sample_interval=sample_interval)
+    apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    sim.run(until=warmup + duration)
+    times, delays = testbed.sampler.series()
+    episodes = [
+        (episode.start, episode.end)
+        for episode in episodes_from_monitor(testbed.monitor)
+    ]
+    return QueueSeries(name, times, delays, episodes, meta={"warmup": warmup})
+
+
+def figure_4(profile: Optional[Profile] = None, seed: int = 104) -> QueueSeries:
+    """Queue-length series with infinite TCP sources (synchronized sawtooth)."""
+    profile = profile or active_profile()
+    return _queue_series(
+        "fig4-infinite-tcp", "infinite_tcp", None, profile.train_duration, seed
+    )
+
+
+def figure_5(profile: Optional[Profile] = None, seed: int = 105) -> QueueSeries:
+    """Queue-length series with constant-duration CBR loss episodes."""
+    profile = profile or active_profile()
+    return _queue_series(
+        "fig5-episodic-cbr",
+        "episodic_cbr",
+        {"episode_durations": (0.068,), "mean_spacing": 10.0},
+        profile.train_duration,
+        seed,
+    )
+
+
+def figure_6(profile: Optional[Profile] = None, seed: int = 106) -> QueueSeries:
+    """Queue-length series with Harpoon web-like traffic."""
+    profile = profile or active_profile()
+    return _queue_series(
+        "fig6-harpoon", "harpoon_web", None, profile.train_duration, seed
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 7: probe-train length vs probability of missing a loss episode
+# --------------------------------------------------------------------------
+
+@dataclass
+class TrainSensitivity:
+    """P(probe sees no loss | probe inside a loss episode) per train length."""
+
+    scenario: str
+    train_lengths: List[int]
+    miss_probabilities: List[float]
+    probes_in_episodes: List[int]
+
+
+def probe_train_miss_probability(
+    scenario: str,
+    train_length: int,
+    duration: float,
+    seed: int,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+    interval: float = 0.010,
+    probe_size: int = 600,
+    warmup: float = 10.0,
+) -> Tuple[float, int]:
+    """One Figure 7 point: (miss probability, #probes that met an episode).
+
+    Probes are sent every ``interval`` (the paper's modified tool used
+    10 ms) so several probes land inside every episode; a probe "missed"
+    if the episode ground truth says it was inside one but every packet of
+    its train arrived.
+    """
+    if train_length < 1:
+        raise ConfigurationError(f"train_length must be >= 1: {train_length}")
+    sim, testbed = build_testbed(seed=seed)
+    apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    tool = PingLikeTool(
+        sim,
+        testbed.probe_sender,
+        testbed.probe_receiver,
+        interval=interval,
+        packet_size=probe_size,
+        duration=duration,
+        start=warmup,
+        flight=train_length,
+    )
+    sim.run(until=warmup + duration + DRAIN_TIME)
+    episodes = episodes_from_monitor(testbed.monitor)
+    if not episodes:
+        return 0.0, 0
+    in_episode = make_in_episode(episodes)
+    received = tool.receiver.received
+    sent = tool.sender.sent
+    hits = 0
+    misses = 0
+    for flight in tool.sender.flights:
+        if not flight:
+            continue
+        send_time = sent[flight[0]]
+        if not in_episode(send_time):
+            continue
+        hits += 1
+        if all(seq in received for seq in flight):
+            misses += 1
+    if hits == 0:
+        return 0.0, 0
+    return misses / hits, hits
+
+
+def figure_7(
+    profile: Optional[Profile] = None,
+    seed: int = 107,
+    train_lengths: Sequence[int] = tuple(range(1, 11)),
+) -> List[TrainSensitivity]:
+    """Both Figure 7 curves: infinite TCP and constant-bit-rate traffic."""
+    profile = profile or active_profile()
+    results: List[TrainSensitivity] = []
+    for scenario, kwargs in (
+        ("infinite_tcp", None),
+        ("episodic_cbr", {"episode_durations": (0.068,), "mean_spacing": 3.0}),
+    ):
+        misses: List[float] = []
+        counts: List[int] = []
+        for offset, train in enumerate(train_lengths):
+            probability, count = probe_train_miss_probability(
+                scenario,
+                train,
+                duration=profile.train_duration,
+                seed=seed + offset,
+                scenario_kwargs=kwargs,
+            )
+            misses.append(probability)
+            counts.append(count)
+        results.append(
+            TrainSensitivity(scenario, list(train_lengths), misses, counts)
+        )
+    return results
+
+
+# --------------------------------------------------------------------------
+# Figure 8: probe impact on queue dynamics during an episode
+# --------------------------------------------------------------------------
+
+@dataclass
+class ProbeImpactSeries:
+    """Fine-grained queue series with drop annotations for one train size."""
+
+    train_length: int
+    series: QueueSeries
+    cross_drop_times: List[float]
+    probe_drop_times: List[float]
+    probe_load_fraction: float
+
+
+def figure_8(
+    profile: Optional[Profile] = None,
+    seed: int = 108,
+    train_lengths: Sequence[int] = (0, 3, 10),
+    interval: float = 0.010,
+) -> List[ProbeImpactSeries]:
+    """Queue behaviour under no probes / 3-packet / 10-packet trains."""
+    profile = profile or active_profile()
+    duration = profile.train_duration
+    results: List[ProbeImpactSeries] = []
+    for train in train_lengths:
+        sim, testbed = build_testbed(seed=seed, sample_interval=0.001)
+        apply_scenario(sim, testbed, "infinite_tcp")
+        tool: Optional[PingLikeTool] = None
+        if train > 0:
+            tool = PingLikeTool(
+                sim,
+                testbed.probe_sender,
+                testbed.probe_receiver,
+                interval=interval,
+                packet_size=600,
+                duration=duration,
+                start=10.0,
+                flight=train,
+            )
+        sim.run(until=10.0 + duration + DRAIN_TIME)
+        times, delays = testbed.sampler.series()
+        episodes = [
+            (episode.start, episode.end)
+            for episode in episodes_from_monitor(testbed.monitor)
+        ]
+        load = 0.0
+        if train > 0:
+            load = (600 * 8 * train / interval) / testbed.config.bottleneck_bps
+        results.append(
+            ProbeImpactSeries(
+                train_length=train,
+                series=QueueSeries(f"fig8-train-{train}", times, delays, episodes),
+                cross_drop_times=testbed.monitor.drop_times("tcp"),
+                probe_drop_times=testbed.monitor.drop_times("zing"),
+                probe_load_fraction=load,
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------
+# Figure 9: marking-parameter sensitivity
+# --------------------------------------------------------------------------
+
+@dataclass
+class SensitivitySweep:
+    """Estimated frequency as a function of p for each parameter value."""
+
+    parameter: str
+    #: parameter value -> [(p, estimated frequency)].
+    curves: Dict[float, List[Tuple[float, float]]]
+    true_frequency: float
+
+
+def _figure_9(
+    parameter: str,
+    values: Sequence[float],
+    fixed_alpha: float,
+    fixed_tau: float,
+    profile: Profile,
+    seed: int,
+) -> SensitivitySweep:
+    curves: Dict[float, List[Tuple[float, float]]] = {value: [] for value in values}
+    true_frequencies: List[float] = []
+    for index, p in enumerate(FIG9_P_VALUES):
+        keep: Dict[str, Any] = {}
+        _result, truth = run_badabing(
+            "episodic_cbr",
+            p=p,
+            n_slots=profile.n_slots,
+            seed=seed + index,
+            scenario_kwargs={"episode_durations": (0.068,)},
+            warmup=profile.warmup,
+            keep=keep,
+        )
+        true_frequencies.append(truth.frequency)
+        tool = keep["tool"]
+        for value in values:
+            if parameter == "alpha":
+                marking = MarkingConfig(alpha=value, tau=fixed_tau)
+            else:
+                marking = MarkingConfig(alpha=fixed_alpha, tau=value)
+            remarked = tool.result(marking=marking)
+            curves[value].append((p, remarked.frequency))
+    true_frequency = sum(true_frequencies) / len(true_frequencies)
+    return SensitivitySweep(parameter, curves, true_frequency)
+
+
+def figure_9a(profile: Optional[Profile] = None, seed: int = 109) -> SensitivitySweep:
+    """Frequency vs p for alpha in {0.05, 0.10, 0.20}, tau fixed at 80 ms."""
+    profile = profile or active_profile()
+    return _figure_9("alpha", (0.05, 0.10, 0.20), 0.10, 0.080, profile, seed)
+
+
+def figure_9b(profile: Optional[Profile] = None, seed: int = 119) -> SensitivitySweep:
+    """Frequency vs p for tau in {20, 40, 80} ms, alpha fixed at 0.10."""
+    profile = profile or active_profile()
+    return _figure_9("tau", (0.020, 0.040, 0.080), 0.10, 0.080, profile, seed)
+
+
+ALL_FIGURES = {
+    "fig4": figure_4,
+    "fig5": figure_5,
+    "fig6": figure_6,
+    "fig7": figure_7,
+    "fig8": figure_8,
+    "fig9a": figure_9a,
+    "fig9b": figure_9b,
+}

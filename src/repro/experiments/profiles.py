@@ -1,0 +1,87 @@
+"""Run-length profiles.
+
+The paper's experiments are 15-minute (900 s) runs, with Table 7's larger-N
+row covering a full hour. Simulating those faithfully is supported (the
+``full`` profile) but slow in pure Python, so the default ``fast`` profile
+shortens every run by 3x while keeping all rates, spacings, and parameters
+identical — estimates get noisier, shapes stay the same.
+
+Select with the ``REPRO_PROFILE`` environment variable (``fast``/``full``)
+or pass a :class:`Profile` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Paper slot width (5 ms).
+SLOT = 0.005
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Durations for one reproduction pass."""
+
+    name: str
+    #: ZING / PING run length in seconds (paper: 900).
+    tool_duration: float
+    #: BADABING slot count (paper: 180,000 == 900 s at 5 ms).
+    n_slots: int
+    #: Table 7's larger N (paper: 720,000 == 1 hour).
+    n_slots_large: int
+    #: Figure 7/8 probe-train run length in seconds.
+    train_duration: float
+    #: Warmup before the measurement window opens.
+    warmup: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.tool_duration <= 0 or self.train_duration <= 0:
+            raise ConfigurationError("durations must be positive")
+        if not 2 <= self.n_slots <= self.n_slots_large:
+            raise ConfigurationError("need 2 <= n_slots <= n_slots_large")
+
+    @property
+    def badabing_duration(self) -> float:
+        return self.n_slots * SLOT
+
+
+FAST = Profile(
+    name="fast",
+    tool_duration=300.0,
+    n_slots=60_000,
+    n_slots_large=240_000,
+    train_duration=120.0,
+)
+
+FULL = Profile(
+    name="full",
+    tool_duration=900.0,
+    n_slots=180_000,
+    n_slots_large=720_000,
+    train_duration=300.0,
+)
+
+#: Tiny profile for CI-style smoke testing of the harness itself.
+SMOKE = Profile(
+    name="smoke",
+    tool_duration=60.0,
+    n_slots=12_000,
+    n_slots_large=24_000,
+    train_duration=30.0,
+)
+
+PROFILES = {profile.name: profile for profile in (FAST, FULL, SMOKE)}
+
+
+def active_profile() -> Profile:
+    """Profile selected by ``REPRO_PROFILE`` (default: fast)."""
+    name = os.environ.get("REPRO_PROFILE", "fast").lower()
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise ConfigurationError(
+            f"unknown REPRO_PROFILE {name!r}; choose from {sorted(PROFILES)}"
+        )
+    return profile

@@ -1,0 +1,131 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+Everything renders to monospace text (the library has no plotting
+dependency); figures become compact ASCII sparklines / aligned series
+listings that make the paper's qualitative shapes visible in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figures import (
+    ProbeImpactSeries,
+    QueueSeries,
+    SensitivitySweep,
+    TrainSensitivity,
+)
+from repro.experiments.tables import TableResult
+
+
+def _fmt(value, precision: int = 4) -> str:
+    """Format a float/None for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return f"{value:.{precision}f}"
+
+
+def render_table(result: TableResult) -> str:
+    """Render a :class:`TableResult` like the paper's tables."""
+    header = ["", "loss frequency", "", "loss duration (s)", ""]
+    sub = ["row", "true", "measured", "true µ (σ)", "measured"]
+    lines = [
+        f"{result.table_id.upper()}: {result.title}",
+        f"[profile={result.profile}]",
+    ]
+    rows: List[List[str]] = [sub]
+    for row in result.rows:
+        rows.append(
+            [
+                row.label,
+                _fmt(row.true_frequency),
+                _fmt(row.measured_frequency),
+                f"{_fmt(row.true_duration, 3)} ({_fmt(row.true_duration_std, 3)})",
+                _fmt(row.measured_duration, 3),
+            ]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(sub))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    lines.append("  ".join(c.ljust(w) for c, w in zip(sub, widths)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for cells in rows[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Compress a series into a unicode sparkline of ``width`` chars."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK[0] * min(width, len(values))
+    bucket = max(1, len(values) // width)
+    chars = []
+    for i in range(0, len(values), bucket):
+        chunk = values[i : i + bucket]
+        level = max(chunk) / top
+        chars.append(_SPARK[min(len(_SPARK) - 1, int(level * len(_SPARK)))])
+    return "".join(chars)
+
+
+def render_queue_series(series: QueueSeries, width: int = 72) -> str:
+    """Render a Figure 4/5/6-style queue series as a sparkline + stats."""
+    peak = max(series.delays) if series.delays else 0.0
+    lines = [
+        f"{series.name}: queue delay over {series.times[0]:.1f}..{series.times[-1]:.1f}s "
+        f"(peak {peak * 1000:.1f} ms, {len(series.episodes)} loss episodes)",
+        sparkline(series.delays, width),
+    ]
+    return "\n".join(lines)
+
+
+def render_train_sensitivity(curves: Iterable[TrainSensitivity]) -> str:
+    """Render Figure 7: P(no loss seen | inside episode) vs train length."""
+    lines = ["FIG 7: P(probe sees no loss during a loss episode) vs probe length"]
+    for curve in curves:
+        lines.append(f"  {curve.scenario}:")
+        for n, probability, hits in zip(
+            curve.train_lengths, curve.miss_probabilities, curve.probes_in_episodes
+        ):
+            bar = "#" * int(probability * 40)
+            lines.append(f"    {n:>2} pkts  {probability:.3f}  ({hits:>5} probes)  {bar}")
+    return "\n".join(lines)
+
+
+def render_probe_impact(results: Iterable[ProbeImpactSeries]) -> str:
+    """Render Figure 8: drops and load per probe-train configuration."""
+    lines = ["FIG 8: probe impact on the bottleneck during loss episodes"]
+    for item in results:
+        lines.append(
+            f"  train={item.train_length:>2} pkts  probe load "
+            f"{item.probe_load_fraction * 100:5.2f}%  cross drops "
+            f"{len(item.cross_drop_times):>5}  probe drops {len(item.probe_drop_times):>4}  "
+            f"episodes {len(item.series.episodes):>3}"
+        )
+    return "\n".join(lines)
+
+
+def render_sensitivity(sweep: SensitivitySweep) -> str:
+    """Render Figure 9a/9b: estimated frequency vs p per parameter value."""
+    lines = [
+        f"FIG 9 ({sweep.parameter}): estimated loss frequency vs p  "
+        f"[true frequency ≈ {sweep.true_frequency:.4f}]"
+    ]
+    for value, points in sorted(sweep.curves.items()):
+        cells = "  ".join(f"p={p:.1f}:{freq:.4f}" for p, freq in points)
+        label = (
+            f"{sweep.parameter}={value:g}"
+            if sweep.parameter == "alpha"
+            else f"{sweep.parameter}={value * 1000:.0f}ms"
+        )
+        lines.append(f"  {label:<12} {cells}")
+    return "\n".join(lines)

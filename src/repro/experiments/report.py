@@ -1,0 +1,112 @@
+"""Collate archived benchmark results into one reproduction report.
+
+The benchmark suite archives every regenerated table, figure, and ablation
+as plain text under ``benchmarks/results/<name>.<profile>.txt``. This
+module stitches those files into a single markdown document — the
+"everything the paper measured, as this repository measured it" artifact —
+without re-running anything.
+
+Exposed on the CLI as ``badabing-sim report [--profile fast]``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Presentation order and section headers for known result names.
+SECTIONS: List[Tuple[str, List[str]]] = [
+    (
+        "Tables (paper evaluation §4 and §6)",
+        [f"table{i}" for i in range(1, 9)],
+    ),
+    (
+        "Figures (paper evaluation §4 and §6)",
+        ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b"],
+    ),
+    (
+        "Ablations (beyond the paper)",
+        [
+            "ablation_improved",
+            "ablation_jitter",
+            "ablation_clock_skew",
+            "ablation_probe_size",
+            "ablation_red",
+            "ablation_modulation",
+            "ablation_multihop",
+            "ablation_uncorrelated_loss",
+        ],
+    ),
+]
+
+
+def discover_results(results_dir: Path, profile: str) -> Dict[str, str]:
+    """Map result name -> archived text for one profile."""
+    if not results_dir.is_dir():
+        raise ConfigurationError(
+            f"{results_dir} does not exist; run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    found: Dict[str, str] = {}
+    for path in sorted(results_dir.glob(f"*.{profile}.txt")):
+        name = path.name[: -len(f".{profile}.txt")]
+        found[name] = path.read_text(encoding="utf-8").rstrip()
+    return found
+
+
+def build_report(results_dir: Path, profile: str = "fast") -> str:
+    """Render the collated markdown report for one profile."""
+    results = discover_results(results_dir, profile)
+    if not results:
+        raise ConfigurationError(
+            f"no archived results for profile {profile!r} under {results_dir}"
+        )
+    lines = [
+        "# BADABING reproduction report",
+        "",
+        f"Profile: `{profile}`. Regenerate any entry with "
+        "`pytest benchmarks/ --benchmark-only` "
+        f"(REPRO_PROFILE={profile}); see EXPERIMENTS.md for the "
+        "paper-vs-measured reading of each result.",
+        "",
+    ]
+    covered = set()
+    for header, names in SECTIONS:
+        present = [name for name in names if name in results]
+        if not present:
+            continue
+        lines.append(f"## {header}")
+        lines.append("")
+        for name in present:
+            covered.add(name)
+            lines.append(f"### {name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(results[name])
+            lines.append("```")
+            lines.append("")
+    extras = sorted(set(results) - covered)
+    if extras:
+        lines.append("## Other archived results")
+        lines.append("")
+        for name in extras:
+            lines.append(f"### {name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(results[name])
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(
+    results_dir: Path, profile: str = "fast", output: Optional[Path] = None
+) -> Path:
+    """Build the report and write it next to the results (or to ``output``)."""
+    text = build_report(results_dir, profile)
+    if output is None:
+        output = results_dir / f"REPORT.{profile}.md"
+    output.write_text(text, encoding="utf-8")
+    return output

@@ -1,0 +1,328 @@
+"""Experiment runner: wire testbed + scenario + tool, extract ground truth.
+
+Every table/figure reproduction boils down to the same loop:
+
+1. build the dumbbell testbed on a fresh seeded simulator,
+2. start one of the §4/§6 traffic scenarios,
+3. start a measurement tool (BADABING / ZING / PING-like),
+4. run for warmup + measurement + drain,
+5. extract ground truth from the bottleneck monitor over the measurement
+   window and compare with what the tool reported.
+
+The helpers here implement steps 1-5 once, so the table/figure modules and
+user code stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.episodes import LossEpisode, episodes_from_monitor
+from repro.analysis.slots import true_frequency
+from repro.analysis.stats import mean_std
+from repro.config import BadabingConfig, MarkingConfig, ProbeConfig, TestbedConfig
+from repro.core.badabing import BadabingResult, BadabingTool
+from repro.core.clock import Clock
+from repro.core.jitter import JitterModel
+from repro.core.zing import ZingResult, ZingTool
+from repro.errors import ConfigurationError
+from repro.experiments import scenarios as _scenarios
+from repro.net.simulator import Simulator
+from repro.net.topology import DumbbellTestbed
+
+#: Extra simulated time after the measurement window so in-flight packets
+#: drain and the tools' logs are complete.
+DRAIN_TIME = 2.0
+
+#: Registry of named scenarios usable by tables, benches, and the CLI.
+SCENARIOS: Dict[str, Callable[..., Any]] = {
+    "infinite_tcp": _scenarios.infinite_tcp,
+    "episodic_cbr": _scenarios.episodic_cbr,
+    "harpoon_web": _scenarios.harpoon_web,
+}
+
+
+def build_testbed(
+    seed: int = 1,
+    config: Optional[TestbedConfig] = None,
+    sample_interval: Optional[float] = None,
+) -> Tuple[Simulator, DumbbellTestbed]:
+    """Fresh simulator + dumbbell testbed."""
+    sim = Simulator(seed=seed)
+    testbed = DumbbellTestbed(sim, config=config, sample_interval=sample_interval)
+    return sim, testbed
+
+
+def apply_scenario(
+    sim: Simulator, testbed: DumbbellTestbed, scenario: str, **kwargs: Any
+) -> Any:
+    """Start a named background-traffic scenario."""
+    factory = SCENARIOS.get(scenario)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return factory(sim, testbed, **kwargs)
+
+
+@dataclass
+class GroundTruth:
+    """What actually happened at the bottleneck during the window."""
+
+    episodes: List[LossEpisode]
+    frequency: float
+    duration_mean: float
+    duration_std: float
+    loss_rate: float
+    n_slots: int
+    slot: float
+    window: Tuple[float, float]
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def loss_event_rate_per_slot(self) -> float:
+        """§7's L: mean number of loss events (episodes) per slot."""
+        if self.n_slots == 0:
+            return 0.0
+        return self.n_episodes / self.n_slots
+
+
+def compute_ground_truth(
+    testbed: DumbbellTestbed,
+    slot: float,
+    start: float,
+    duration: float,
+    max_gap: float = 0.5,
+) -> GroundTruth:
+    """Extract router-centric truth over ``[start, start + duration]``."""
+    episodes = episodes_from_monitor(testbed.monitor, max_gap=max_gap)
+    return ground_truth_from_episodes(
+        episodes, testbed.monitor.loss_rate, slot, start, duration
+    )
+
+
+def ground_truth_from_episodes(
+    episodes: List[LossEpisode],
+    loss_rate: float,
+    slot: float,
+    start: float,
+    duration: float,
+) -> GroundTruth:
+    """Windowed truth from an already-extracted episode list.
+
+    Used directly by multi-hop experiments, where the episode list is the
+    union of per-hop extractions.
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    end = start + duration
+    window_episodes = [
+        episode for episode in episodes if episode.end >= start and episode.start <= end
+    ]
+    # Re-express episode times relative to the measurement start so slot
+    # indices line up with the probe process's slots.
+    shifted = [
+        LossEpisode(
+            max(episode.start, start) - start,
+            min(episode.end, end) - start,
+            episode.drops,
+        )
+        for episode in window_episodes
+    ]
+    n_slots = int(round(duration / slot))
+    frequency = true_frequency(shifted, slot, n_slots) if shifted else 0.0
+    durations = [episode.duration for episode in window_episodes]
+    duration_mean, duration_std = mean_std(durations)
+    return GroundTruth(
+        episodes=window_episodes,
+        frequency=frequency,
+        duration_mean=duration_mean,
+        duration_std=duration_std,
+        loss_rate=loss_rate,
+        n_slots=n_slots,
+        slot=slot,
+        window=(start, end),
+    )
+
+
+def default_marking_for(p: float, slot: float) -> MarkingConfig:
+    """§6.2's parameter recipe.
+
+    tau: "the expected time between probes plus one standard deviation" —
+    for the geometric design the gap between probed slots is geometric with
+    per-slot coverage probability ``1 - (1-p)^2``.
+
+    alpha: 0.2 at p = 0.1, 0.1 at p in {0.3, 0.5}, 0.05 at p in {0.7, 0.9}
+    (the paper's text prints "0.5" for the last group, which contradicts
+    its own Figure 9 range of 0.025-0.2; we read it as 0.05).
+    """
+    coverage = 1.0 - (1.0 - p) ** 2
+    mean_gap = slot / coverage
+    std_gap = slot * sqrt(1.0 - coverage) / coverage
+    tau = mean_gap + std_gap
+    if p <= 0.15:
+        alpha = 0.2
+    elif p <= 0.55:
+        alpha = 0.1
+    else:
+        alpha = 0.05
+    return MarkingConfig(alpha=alpha, tau=tau)
+
+
+def run_badabing(
+    scenario: str,
+    p: float,
+    n_slots: int,
+    seed: int = 1,
+    improved: bool = False,
+    probe: Optional[ProbeConfig] = None,
+    marking: Optional[MarkingConfig] = None,
+    testbed_config: Optional[TestbedConfig] = None,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+    warmup: float = 10.0,
+    jitter: Optional[JitterModel] = None,
+    sender_clock: Optional[Clock] = None,
+    receiver_clock: Optional[Clock] = None,
+    keep: Optional[Dict[str, Any]] = None,
+) -> Tuple[BadabingResult, GroundTruth]:
+    """Full BADABING experiment: returns (tool result, ground truth).
+
+    ``keep`` (if provided) is filled with the live objects (sim, testbed,
+    tool, traffic) so callers can do further analysis — e.g. re-mark the
+    same probe logs under different (alpha, tau) settings for Figure 9.
+    """
+    probe_cfg = probe if probe is not None else ProbeConfig()
+    marking_cfg = marking if marking is not None else default_marking_for(p, probe_cfg.slot)
+    config = BadabingConfig(
+        probe=probe_cfg, marking=marking_cfg, p=p, n_slots=n_slots, improved=improved
+    )
+    sim, testbed = build_testbed(seed=seed, config=testbed_config)
+    traffic = apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    tool = BadabingTool(
+        sim,
+        testbed.probe_sender,
+        testbed.probe_receiver,
+        config,
+        start=warmup,
+        jitter=jitter,
+        sender_clock=sender_clock,
+        receiver_clock=receiver_clock,
+    )
+    sim.run(until=tool.end_time + DRAIN_TIME)
+    truth = compute_ground_truth(testbed, probe_cfg.slot, warmup, config.duration)
+    result = tool.result()
+    if keep is not None:
+        keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
+    return result, truth
+
+
+def run_badabing_multihop(
+    n_hops: int,
+    p: float,
+    n_slots: int,
+    seed: int = 1,
+    mean_spacings: Optional[List[float]] = None,
+    episode_durations: Tuple[float, ...] = (0.068,),
+    testbed_config: Optional[TestbedConfig] = None,
+    probe: Optional[ProbeConfig] = None,
+    marking: Optional[MarkingConfig] = None,
+    warmup: float = 10.0,
+    keep: Optional[Dict[str, Any]] = None,
+) -> Tuple[BadabingResult, GroundTruth]:
+    """BADABING across a chain of independently congested bottlenecks.
+
+    Each hop carries its own engineered episodic CBR cross traffic
+    (spacing given per hop via ``mean_spacings``, default 10 s each);
+    truth is the *union* of per-hop loss episodes — the path-level
+    congestion state the probes actually traverse.
+    """
+    from repro.net.multihop import MultiHopTestbed
+    from repro.traffic.cbr import EpisodicCbrTraffic
+
+    probe_cfg = probe if probe is not None else ProbeConfig()
+    marking_cfg = marking if marking is not None else default_marking_for(p, probe_cfg.slot)
+    config = BadabingConfig(
+        probe=probe_cfg, marking=marking_cfg, p=p, n_slots=n_slots
+    )
+    sim = Simulator(seed=seed)
+    testbed = MultiHopTestbed(sim, n_hops=n_hops, config=testbed_config)
+    cfg = testbed.config
+    if mean_spacings is None:
+        mean_spacings = [10.0] * n_hops
+    if len(mean_spacings) != n_hops:
+        raise ConfigurationError(
+            f"need one spacing per hop ({n_hops}), got {len(mean_spacings)}"
+        )
+    traffic = [
+        EpisodicCbrTraffic(
+            sim,
+            testbed.cross_senders[hop],
+            testbed.cross_receivers[hop],
+            bottleneck_bps=cfg.bottleneck_bps,
+            buffer_bytes=cfg.buffer_bytes,
+            episode_durations=episode_durations,
+            mean_spacing=mean_spacings[hop],
+            packet_size=cfg.mtu,
+            rng_label=f"episodic-cbr-hop{hop}",
+        )
+        for hop in range(n_hops)
+    ]
+    tool = BadabingTool(
+        sim, testbed.probe_sender, testbed.probe_receiver, config, start=warmup
+    )
+    sim.run(until=tool.end_time + DRAIN_TIME)
+    total_arrivals = sum(m.arrivals for m in testbed.hop_monitors)
+    total_drops = testbed.total_drops
+    loss_rate = (
+        total_drops / (total_arrivals + total_drops)
+        if total_arrivals + total_drops
+        else 0.0
+    )
+    truth = ground_truth_from_episodes(
+        testbed.path_episodes(), loss_rate, probe_cfg.slot, warmup, config.duration
+    )
+    result = tool.result()
+    if keep is not None:
+        keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
+    return result, truth
+
+
+def run_zing(
+    scenario: str,
+    mean_interval: float,
+    packet_size: int,
+    duration: float,
+    seed: int = 1,
+    slot: float = 0.005,
+    testbed_config: Optional[TestbedConfig] = None,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+    warmup: float = 10.0,
+    keep: Optional[Dict[str, Any]] = None,
+) -> Tuple[ZingResult, GroundTruth]:
+    """Full ZING experiment: returns (tool result, ground truth).
+
+    ``slot`` only affects how the *truth* frequency is discretized; ZING
+    itself is slot-free.
+    """
+    sim, testbed = build_testbed(seed=seed, config=testbed_config)
+    traffic = apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    tool = ZingTool(
+        sim,
+        testbed.probe_sender,
+        testbed.probe_receiver,
+        mean_interval=mean_interval,
+        packet_size=packet_size,
+        duration=duration,
+        start=warmup,
+    )
+    sim.run(until=warmup + duration + DRAIN_TIME)
+    truth = compute_ground_truth(testbed, slot, warmup, duration)
+    result = tool.result()
+    if keep is not None:
+        keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
+    return result, truth

@@ -1,0 +1,145 @@
+"""Background-traffic scenarios (§4 / §6 of the paper).
+
+Three scenarios drive every table and figure:
+
+* :func:`infinite_tcp` — long-lived TCP flows in congestion avoidance. The
+  paper used 40 flows on a 155 Mb/s bottleneck; on the scaled testbed the
+  flow count is scaled with the bottleneck rate so each flow operates in
+  the same window regime (tens of segments), which is what produces the
+  characteristic synchronized sawtooth and ~RTT-length loss episodes.
+* :func:`episodic_cbr` — engineered constant-duration loss episodes at
+  exponentially spaced epochs (the modified-Iperf scenarios).
+* :func:`harpoon_web` — heavy-tailed web-like traffic with load surges
+  inducing loss roughly every 20 seconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.net.topology import DumbbellTestbed
+from repro.net.simulator import Simulator
+from repro.traffic.cbr import EpisodicCbrTraffic
+from repro.traffic.harpoon import HarpoonWebTraffic
+from repro.traffic.tcp import TcpReceiver, TcpSender
+from repro.traffic.base import ephemeral_port
+from repro.units import mbps
+
+#: The paper's flow count and bottleneck rate, used for scaling.
+PAPER_TCP_FLOWS = 40
+PAPER_BOTTLENECK_BPS = mbps(155)
+
+
+def scaled_flow_count(bottleneck_bps: float) -> int:
+    """Scale the paper's 40 flows to a different bottleneck rate.
+
+    Keeps per-flow bandwidth share (and therefore the congestion-window
+    regime) comparable to the paper's testbed.
+    """
+    scaled = round(PAPER_TCP_FLOWS * bottleneck_bps / PAPER_BOTTLENECK_BPS)
+    return max(2, scaled)
+
+
+def infinite_tcp(
+    sim: Simulator,
+    testbed: DumbbellTestbed,
+    n_flows: Optional[int] = None,
+    rwnd: int = 256,
+    stagger: float = 2.0,
+    start: float = 0.0,
+) -> List[TcpSender]:
+    """Start long-lived TCP flows across the dumbbell.
+
+    Flow starts are staggered uniformly over ``stagger`` seconds so slow
+    start does not begin in lockstep; congestion-avoidance synchronization
+    then emerges from the shared drop-tail queue, as in the paper's Fig. 4.
+    """
+    if n_flows is None:
+        n_flows = scaled_flow_count(testbed.config.bottleneck_bps)
+    rng = sim.rng("infinite-tcp-starts")
+    senders: List[TcpSender] = []
+    n_pairs = len(testbed.traffic_senders)
+    for index in range(n_flows):
+        sender_host = testbed.traffic_senders[index % n_pairs]
+        receiver_host = testbed.traffic_receivers[index % n_pairs]
+        port = ephemeral_port()
+        TcpReceiver(sim, receiver_host, port)
+        senders.append(
+            TcpSender(
+                sim,
+                sender_host,
+                receiver_host.name,
+                port,
+                mss=testbed.config.mtu,
+                rwnd=rwnd,
+                total_segments=None,
+                start=start + rng.uniform(0.0, stagger),
+            )
+        )
+    return senders
+
+
+def episodic_cbr(
+    sim: Simulator,
+    testbed: DumbbellTestbed,
+    episode_durations: Sequence[float] = (0.068,),
+    mean_spacing: float = 10.0,
+    overload_factor: float = 2.0,
+    start: float = 0.5,
+) -> EpisodicCbrTraffic:
+    """Engineered constant-duration loss episodes (Tables 2/4/5, Fig. 5)."""
+    cfg = testbed.config
+    return EpisodicCbrTraffic(
+        sim,
+        testbed.traffic_senders[0],
+        testbed.traffic_receivers[0],
+        bottleneck_bps=cfg.bottleneck_bps,
+        buffer_bytes=cfg.buffer_bytes,
+        episode_durations=episode_durations,
+        mean_spacing=mean_spacing,
+        overload_factor=overload_factor,
+        packet_size=cfg.mtu,
+        start=start,
+    )
+
+
+def harpoon_web(
+    sim: Simulator,
+    testbed: DumbbellTestbed,
+    load_factor: float = 0.5,
+    surge_interval_mean: float = 20.0,
+    start: float = 0.0,
+) -> HarpoonWebTraffic:
+    """Web-like traffic sized to ``load_factor`` of the bottleneck.
+
+    The base session process is calibrated from the mean file size so that
+    offered load ≈ ``load_factor`` × bottleneck rate; surges of parallel
+    transfers then push the queue into loss on the paper's ~20 s cadence.
+    """
+    cfg = testbed.config
+    shape = 1.2
+    min_file = 12_000
+    mean_files = 5.0
+    # Truncated-Pareto mean ≈ shape/(shape-1) × min for the sizes in play.
+    mean_file_bytes = min_file * shape / (shape - 1.0)
+    session_bytes = mean_file_bytes * mean_files
+    target_bps = load_factor * cfg.bottleneck_bps
+    session_rate = target_bps / (session_bytes * 8)
+    # Surge sizing: enough simultaneous bytes to fill the buffer through the
+    # access links and overflow it briefly.
+    surge_flows = max(4, len(testbed.traffic_senders))
+    surge_file_bytes = int(2.5 * cfg.buffer_bytes / surge_flows) + cfg.buffer_bytes
+    return HarpoonWebTraffic(
+        sim,
+        testbed.traffic_senders,
+        testbed.traffic_receivers,
+        session_rate=session_rate,
+        mean_files_per_session=mean_files,
+        pareto_shape=shape,
+        min_file_bytes=min_file,
+        surge_interval_mean=surge_interval_mean,
+        surge_flows=surge_flows,
+        surge_file_bytes=surge_file_bytes,
+        mss=cfg.mtu,
+        start=start,
+    )

@@ -1,0 +1,191 @@
+"""JSON-lines measurement traces.
+
+Format (one JSON object per line):
+
+* line 1 — header: ``{"type": "badabing-trace", "version": 1,
+  "slot_width": ..., "n_slots": ..., "p": ..., "metadata": {...},
+  "experiments": [[start, length], ...]}``
+* following lines — probes: ``{"slot": ..., "t": send_time,
+  "n": n_packets, "owds": [...], "obl": owd_before_loss-or-null}``
+
+The format is self-contained: everything estimation needs (schedule and
+probe observations) is in the file, so traces can be shipped between
+machines and re-analyzed with different §6.1 marking parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.config import MarkingConfig
+from repro.core.badabing import BadabingResult, BadabingTool
+from repro.core.estimators import estimate_from_outcomes
+from repro.core.marking import CongestionMarker
+from repro.core.records import ExperimentOutcome, ProbeRecord
+from repro.core.schedule import Experiment
+from repro.core.validation import validate_outcomes
+from repro.errors import ConfigurationError
+
+FORMAT_NAME = "badabing-trace"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class Measurement:
+    """A persisted (or persistable) measurement: schedule + probe records."""
+
+    slot_width: float
+    n_slots: int
+    p: float
+    experiments: List[Experiment]
+    probes: List[ProbeRecord]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def outcomes(self, slot_states: Dict[int, bool]) -> List[ExperimentOutcome]:
+        """Assemble y_i values from marked slot states."""
+        outcomes: List[ExperimentOutcome] = []
+        for experiment in self.experiments:
+            bits = []
+            for slot in experiment.slots:
+                state = slot_states.get(slot)
+                if state is None:
+                    break
+                bits.append(int(state))
+            else:
+                outcomes.append(
+                    ExperimentOutcome(experiment.start_slot, tuple(bits))
+                )
+        return outcomes
+
+
+def measurement_from_tool(
+    tool: BadabingTool, metadata: Optional[Dict[str, Any]] = None
+) -> Measurement:
+    """Snapshot a finished (or in-progress) BADABING tool."""
+    config = tool.config
+    return Measurement(
+        slot_width=config.probe.slot,
+        n_slots=config.n_slots,
+        p=config.p,
+        experiments=list(tool.schedule.experiments),
+        probes=tool.probe_records(),
+        metadata=dict(metadata or {}),
+    )
+
+
+def save_measurement(
+    path: PathLike,
+    measurement: Union[Measurement, BadabingTool],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a measurement trace. Accepts a Measurement or a live tool."""
+    if isinstance(measurement, BadabingTool):
+        measurement = measurement_from_tool(measurement, metadata)
+    elif metadata:
+        measurement.metadata.update(metadata)
+    header = {
+        "type": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "slot_width": measurement.slot_width,
+        "n_slots": measurement.n_slots,
+        "p": measurement.p,
+        "metadata": measurement.metadata,
+        "experiments": [
+            [experiment.start_slot, experiment.length]
+            for experiment in measurement.experiments
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for probe in measurement.probes:
+            handle.write(
+                json.dumps(
+                    {
+                        "slot": probe.slot,
+                        "t": probe.send_time,
+                        "n": probe.n_packets,
+                        "owds": list(probe.owds),
+                        "obl": probe.owd_before_loss,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_measurement(path: PathLike) -> Measurement:
+    """Read a measurement trace written by :func:`save_measurement`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ConfigurationError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("type") != FORMAT_NAME:
+            raise ConfigurationError(
+                f"{path}: not a {FORMAT_NAME} file (type={header.get('type')!r})"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported trace version {header.get('version')!r}"
+            )
+        probes: List[ProbeRecord] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            probes.append(
+                ProbeRecord(
+                    slot=record["slot"],
+                    send_time=record["t"],
+                    n_packets=record["n"],
+                    owds=tuple(record["owds"]),
+                    owd_before_loss=record["obl"],
+                )
+            )
+    return Measurement(
+        slot_width=header["slot_width"],
+        n_slots=header["n_slots"],
+        p=header["p"],
+        experiments=[
+            Experiment(start, length) for start, length in header["experiments"]
+        ],
+        probes=probes,
+        metadata=header.get("metadata", {}),
+    )
+
+
+def reestimate(
+    measurement: Measurement,
+    marking: Optional[MarkingConfig] = None,
+    improved: Optional[bool] = None,
+) -> BadabingResult:
+    """Offline §6.1 marking + §5 estimation over a loaded trace."""
+    marker = CongestionMarker(marking)
+    marked = marker.mark(measurement.probes)
+    outcomes = measurement.outcomes(marked.slot_states)
+    estimate = estimate_from_outcomes(outcomes, improved=improved)
+    probe_slots = {probe.slot for probe in measurement.probes}
+    # Probe load from the records themselves (sizes are not persisted, so
+    # report packets/second x nominal 600 B unless metadata overrides).
+    probe_size = int(measurement.metadata.get("probe_size", 600))
+    duration = measurement.n_slots * measurement.slot_width
+    load_bps = (
+        sum(probe.n_packets for probe in measurement.probes) * probe_size * 8 / duration
+        if duration > 0
+        else 0.0
+    )
+    return BadabingResult(
+        estimate=estimate,
+        validation=validate_outcomes(outcomes),
+        marking=marked,
+        probes=measurement.probes,
+        outcomes=outcomes,
+        n_probes_sent=len(probe_slots),
+        probe_load_bps=load_bps,
+        slot_width=measurement.slot_width,
+    )

@@ -1,0 +1,40 @@
+"""Packet-level discrete-event network simulator.
+
+This subpackage is the substrate that replaces the paper's hardware testbed
+(Cisco GSR routers, OC3 bottleneck, Endace DAG capture cards). It provides:
+
+* :mod:`repro.net.simulator` — the event loop,
+* :mod:`repro.net.packet` — packets,
+* :mod:`repro.net.queues` — drop-tail (and RED) byte-limited FIFO queues,
+* :mod:`repro.net.link` — serializing transmitters with propagation delay,
+* :mod:`repro.net.node` — hosts and routers with static routing,
+* :mod:`repro.net.topology` — topology builders, including the dumbbell
+  testbed replica of the paper's Figure 3,
+* :mod:`repro.net.monitor` — DAG-equivalent lossless queue taps used to
+  establish ground truth.
+"""
+
+from repro.net.simulator import Simulator
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, REDQueue
+from repro.net.link import Link
+from repro.net.node import Host, Router, Node
+from repro.net.topology import Topology, DumbbellTestbed
+from repro.net.multihop import MultiHopTestbed
+from repro.net.monitor import QueueMonitor, QueueSampler
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "DropTailQueue",
+    "REDQueue",
+    "Link",
+    "Host",
+    "Router",
+    "Node",
+    "Topology",
+    "DumbbellTestbed",
+    "MultiHopTestbed",
+    "QueueMonitor",
+    "QueueSampler",
+]

@@ -1,0 +1,123 @@
+"""Multi-hop testbed: a chain of independently congestible bottlenecks.
+
+The paper's evaluation is single-bottleneck; §6.2 explicitly defers "more
+complex multi-hop scenarios" to future work. This module builds that
+scenario: a chain of routers whose every inter-router link is a
+(potential) bottleneck with its own byte-limited drop-tail queue, its own
+cross-traffic attachment points, and its own ground-truth monitor.
+
+Layout for ``n_hops = 3``::
+
+    probesnd -- r0 ==hop0== r1 ==hop1== r2 ==hop2== r3 -- probercv
+                |           |  |        |  |        |
+              xsnd0       xrcv0 xsnd1 xrcv1 xsnd2  xrcv2
+
+Cross traffic for hop ``i`` enters at ``r_i`` and leaves at ``r_{i+1}``,
+so it shares exactly that hop's queue with the through path. The total
+one-way propagation budget is split evenly across the hops, keeping the
+end-to-end RTT at the single-hop testbed's value.
+
+End-to-end ("path") congestion episodes are the union over hops of the
+per-hop episodes — see
+:func:`repro.analysis.episodes.merge_episode_lists`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.episodes import LossEpisode, episodes_from_monitor, merge_episode_lists
+from repro.config import TestbedConfig
+from repro.errors import ConfigurationError
+from repro.net.monitor import QueueMonitor
+from repro.net.node import Host
+from repro.net.queues import DropTailQueue
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+
+
+class MultiHopTestbed:
+    """Chain-of-bottlenecks testbed with per-hop instrumentation."""
+
+    PROBE_SENDER = "probesnd"
+    PROBE_RECEIVER = "probercv"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_hops: int = 3,
+        config: Optional[TestbedConfig] = None,
+    ):
+        if n_hops < 1:
+            raise ConfigurationError(f"need at least one hop, got {n_hops}")
+        self.sim = sim
+        self.n_hops = n_hops
+        self.config = config if config is not None else TestbedConfig()
+        cfg = self.config
+        self.topology = Topology(sim)
+
+        routers = [self.topology.add_router(f"r{i}") for i in range(n_hops + 1)]
+        per_hop_delay = cfg.prop_delay / n_hops
+
+        self.hop_queues: List[DropTailQueue] = []
+        self.hop_monitors: List[QueueMonitor] = []
+        for hop in range(n_hops):
+            queue = DropTailQueue(cfg.buffer_bytes, name=f"hop{hop}")
+            monitor = QueueMonitor(
+                sim,
+                name=f"hop{hop}",
+                high_water_bytes=int(0.9 * cfg.buffer_bytes),
+            )
+            queue.attach(monitor)
+            self.topology.connect(
+                routers[hop].name,
+                routers[hop + 1].name,
+                cfg.bottleneck_bps,
+                per_hop_delay,
+                queue_ab=queue,
+            )
+            self.hop_queues.append(queue)
+            self.hop_monitors.append(monitor)
+
+        # Per-hop cross-traffic hosts.
+        self.cross_senders: List[Host] = []
+        self.cross_receivers: List[Host] = []
+        for hop in range(n_hops):
+            sender = self.topology.add_host(f"xsnd{hop}")
+            receiver = self.topology.add_host(f"xrcv{hop}")
+            self.topology.connect(
+                sender.name, routers[hop].name, cfg.access_bps, cfg.access_delay
+            )
+            self.topology.connect(
+                routers[hop + 1].name, receiver.name, cfg.access_bps, cfg.access_delay
+            )
+            self.cross_senders.append(sender)
+            self.cross_receivers.append(receiver)
+
+        self.probe_sender = self.topology.add_host(self.PROBE_SENDER)
+        self.probe_receiver = self.topology.add_host(self.PROBE_RECEIVER)
+        self.topology.connect(
+            self.PROBE_SENDER, routers[0].name, cfg.access_bps, cfg.access_delay
+        )
+        self.topology.connect(
+            routers[-1].name, self.PROBE_RECEIVER, cfg.access_bps, cfg.access_delay
+        )
+        self.topology.build_routes()
+
+    # ---------------------------------------------------------- ground truth
+    def path_episodes(self, max_gap: float = 0.5) -> List[LossEpisode]:
+        """Union of per-hop loss episodes (end-to-end congestion state)."""
+        per_hop = [
+            episodes_from_monitor(monitor, max_gap=max_gap)
+            for monitor in self.hop_monitors
+        ]
+        return merge_episode_lists(per_hop)
+
+    @property
+    def total_drops(self) -> int:
+        return sum(monitor.total_drops for monitor in self.hop_monitors)
+
+    @property
+    def one_way_propagation(self) -> float:
+        """Propagation floor, probe sender to probe receiver."""
+        return 2 * self.config.access_delay + self.config.prop_delay

@@ -1,0 +1,218 @@
+"""Topology construction.
+
+:class:`Topology` is a small convenience layer over nodes and links: declare
+nodes, declare (bidirectional) connections, then call :meth:`build_routes`
+to install shortest-path static routes everywhere.
+
+:class:`DumbbellTestbed` reproduces the paper's Figure 3 testbed: traffic
+generator hosts and probe hosts on the left, receivers on the right, an
+aggregation router on each side, and a single bottleneck link between them
+whose output queue is where all loss episodes occur. Ground-truth taps
+(:class:`repro.net.monitor.QueueMonitor`) attach to that queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import TestbedConfig
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.link import Link
+from repro.net.monitor import QueueMonitor, QueueSampler
+from repro.net.node import Host, Node, Router
+from repro.net.queues import DropTailQueue, REDQueue
+from repro.net.simulator import Simulator
+
+
+class Topology:
+    """A set of nodes plus helpers to wire links and compute routes."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self._edges: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------- declaration
+    def add_host(self, name: str) -> Host:
+        return self._add(Host(self.sim, name))
+
+    def add_router(self, name: str) -> Router:
+        return self._add(Router(self.sim, name))
+
+    def _add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float,
+        delay: float,
+        queue_ab: Optional[DropTailQueue] = None,
+        queue_ba: Optional[DropTailQueue] = None,
+    ) -> Tuple[Link, Link]:
+        """Create a bidirectional connection as two independent links."""
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        link_ab = Link(self.sim, bandwidth_bps, delay, queue_ab, name=f"{a}->{b}")
+        link_ba = Link(self.sim, bandwidth_bps, delay, queue_ba, name=f"{b}->{a}")
+        link_ab.connect(node_b.receive)
+        link_ba.connect(node_a.receive)
+        node_a.add_link(b, link_ab)
+        node_b.add_link(a, link_ba)
+        self._edges.append((a, b))
+        return link_ab, link_ba
+
+    # ----------------------------------------------------------------- routing
+    def build_routes(self) -> None:
+        """Install shortest-path (hop count) routes on every node via BFS."""
+        adjacency: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for a, b in self._edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        for source in self.nodes:
+            parents = self._bfs(source, adjacency)
+            for destination in self.nodes:
+                if destination == source:
+                    continue
+                next_hop = self._first_hop(source, destination, parents)
+                if next_hop is None:
+                    raise RoutingError(
+                        f"no path from {source!r} to {destination!r}"
+                    )
+                self.nodes[source].add_route(destination, next_hop)
+
+    @staticmethod
+    def _bfs(source: str, adjacency: Dict[str, List[str]]) -> Dict[str, str]:
+        parents: Dict[str, str] = {}
+        frontier = deque([source])
+        seen = {source}
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parents[neighbor] = node
+                    frontier.append(neighbor)
+        return parents
+
+    @staticmethod
+    def _first_hop(
+        source: str, destination: str, parents: Dict[str, str]
+    ) -> Optional[str]:
+        if destination not in parents:
+            return None
+        node = destination
+        while parents[node] != source:
+            node = parents[node]
+        return node
+
+
+class DumbbellTestbed:
+    """Replica of the paper's Figure 3 testbed (scaled; see DESIGN.md).
+
+    Layout::
+
+        tsnd0..k  \\                          / trcv0..k
+        probesnd --- routerL ===bottleneck=== routerR --- probercv
+
+    The single ``routerL -> routerR`` link is the bottleneck where all loss
+    episodes occur. Its output queue carries the ground-truth monitor (the
+    DAG-card equivalent) and a periodic queue-length sampler for the Fig. 4-6
+    time series.
+    """
+
+    PROBE_SENDER = "probesnd"
+    PROBE_RECEIVER = "probercv"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[TestbedConfig] = None,
+        sample_interval: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.config = config if config is not None else TestbedConfig()
+        cfg = self.config
+        self.topology = Topology(sim)
+
+        routerL = self.topology.add_router("routerL")
+        routerR = self.topology.add_router("routerR")
+
+        # Bottleneck queue: byte capacity = buffer_time x line rate, the way
+        # the paper configured "approximately 100 milliseconds of packets".
+        if cfg.red:
+            bottleneck_queue: DropTailQueue = REDQueue(
+                cfg.buffer_bytes, "bottleneck", rng=sim.rng("red")
+            )
+        else:
+            bottleneck_queue = DropTailQueue(cfg.buffer_bytes, "bottleneck")
+        self.bottleneck_queue = bottleneck_queue
+
+        # Reverse path has a generous (non-bottleneck) queue so ACK traffic
+        # never experiences loss, matching the testbed's uncongested reverse.
+        self.forward_link, self.reverse_link = self.topology.connect(
+            "routerL",
+            "routerR",
+            cfg.bottleneck_bps,
+            cfg.prop_delay,
+            queue_ab=bottleneck_queue,
+        )
+
+        # High-water mark for episode delimitation: the paper used "within
+        # 10 milliseconds of the maximum" on a 100 ms buffer, i.e. 90%.
+        self.monitor = QueueMonitor(
+            sim,
+            name="bottleneck",
+            high_water_bytes=int(0.9 * cfg.buffer_bytes),
+        )
+        bottleneck_queue.attach(self.monitor)
+        if sample_interval is not None:
+            self.sampler: Optional[QueueSampler] = QueueSampler(
+                sim, bottleneck_queue, cfg.bottleneck_bps, sample_interval
+            )
+        else:
+            self.sampler = None
+
+        # Traffic host pairs.
+        self.traffic_senders: List[Host] = []
+        self.traffic_receivers: List[Host] = []
+        for i in range(cfg.n_traffic_pairs):
+            sender = self.topology.add_host(f"tsnd{i}")
+            receiver = self.topology.add_host(f"trcv{i}")
+            self.topology.connect(
+                sender.name, "routerL", cfg.access_bps, cfg.access_delay
+            )
+            self.topology.connect(
+                "routerR", receiver.name, cfg.access_bps, cfg.access_delay
+            )
+            self.traffic_senders.append(sender)
+            self.traffic_receivers.append(receiver)
+
+        # Dedicated probe hosts (like the badabing sender/receiver machines).
+        self.probe_sender = self.topology.add_host(self.PROBE_SENDER)
+        self.probe_receiver = self.topology.add_host(self.PROBE_RECEIVER)
+        self.topology.connect(
+            self.PROBE_SENDER, "routerL", cfg.access_bps, cfg.access_delay
+        )
+        self.topology.connect(
+            "routerR", self.PROBE_RECEIVER, cfg.access_bps, cfg.access_delay
+        )
+
+        self.topology.build_routes()
+
+    # ------------------------------------------------------------ convenience
+    @property
+    def one_way_propagation(self) -> float:
+        """Propagation (no queueing/serialization) sender -> receiver."""
+        cfg = self.config
+        return 2 * cfg.access_delay + cfg.prop_delay
+
+    def host(self, name: str) -> Host:
+        node = self.topology.nodes[name]
+        if not isinstance(node, Host):
+            raise ConfigurationError(f"{name!r} is not a host")
+        return node

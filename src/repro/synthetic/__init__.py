@@ -1,0 +1,29 @@
+"""Analytic congestion-process substrate.
+
+The packet simulator produces *realistic* congestion; this subpackage
+produces *exactly specified* congestion: an alternating renewal process over
+discrete slots (the precise setting of the paper's §5 consistency proofs)
+plus a virtual observer that reports experiment outcomes with the exact miss
+probabilities p1/p2 of the paper's assumptions. Estimator unit tests and
+property-based tests run here, where the true F and D are known in closed
+form.
+"""
+
+from repro.synthetic.renewal import (
+    AlternatingRenewalProcess,
+    FixedSlots,
+    GeometricSlots,
+    UniformSlots,
+)
+from repro.synthetic.observer import VirtualObserver
+from repro.synthetic.gilbert import GilbertProcess, sample_packet_losses
+
+__all__ = [
+    "AlternatingRenewalProcess",
+    "FixedSlots",
+    "GeometricSlots",
+    "UniformSlots",
+    "VirtualObserver",
+    "GilbertProcess",
+    "sample_packet_losses",
+]

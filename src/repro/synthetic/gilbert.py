@@ -1,0 +1,96 @@
+"""Gilbert(-Elliott) two-state Markov congestion and loss models.
+
+The Gilbert model is the classic parametric description of bursty packet
+loss (the paper's related work [37] fits Markov models of exactly this
+kind). It is the special case of the alternating renewal process with
+*geometric* phase lengths, which makes every quantity closed-form:
+
+* ``g`` — P(congested -> clear) per slot → mean episode length ``1/g``,
+* ``b`` — P(clear -> congested) per slot → mean gap ``1/b``,
+* stationary congestion frequency ``F = b / (b + g)``.
+
+:class:`GilbertProcess` generates slot-level truth (for estimator tests
+where the parametric fit of :mod:`repro.core.parametric` must recover the
+generating parameters exactly), and :func:`sample_packet_losses` converts
+a slot series into per-packet loss outcomes under the Gilbert-Elliott
+refinement (loss probability ``h`` while congested, ``k`` while clear) —
+a cheap stand-in for the full packet simulator when only the loss channel
+matters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.synthetic.renewal import AlternatingRenewalProcess, GeometricSlots
+
+
+class GilbertProcess:
+    """Two-state Markov slot process with explicit (g, b) parameters."""
+
+    def __init__(self, g: float, b: float, rng: random.Random):
+        if not 0 < g <= 1 or not 0 < b <= 1:
+            raise ConfigurationError(f"g and b must be in (0, 1], got {g}, {b}")
+        self.g = g
+        self.b = b
+        self._renewal = AlternatingRenewalProcess(
+            congested=GeometricSlots(1.0 / g),
+            uncongested=GeometricSlots(1.0 / b),
+            rng=rng,
+        )
+
+    @property
+    def frequency(self) -> float:
+        """Stationary congestion frequency b/(b+g)."""
+        return self.b / (self.b + self.g)
+
+    @property
+    def mean_episode_slots(self) -> float:
+        """Mean congestion episode length, 1/g slots."""
+        return 1.0 / self.g
+
+    @property
+    def mean_gap_slots(self) -> float:
+        """Mean congestion-free gap length, 1/b slots."""
+        return 1.0 / self.b
+
+    def generate(self, n_slots: int) -> List[bool]:
+        """Slot-level truth sequence."""
+        return self._renewal.generate(n_slots)
+
+
+def sample_packet_losses(
+    states: Sequence[bool],
+    packets_per_slot: int,
+    rng: random.Random,
+    loss_prob_congested: float = 0.5,
+    loss_prob_clear: float = 0.0,
+) -> Tuple[int, int]:
+    """Draw Gilbert-Elliott packet losses over a slot series.
+
+    Returns ``(packets_sent, packets_lost)`` for a constant-rate stream of
+    ``packets_per_slot`` packets per slot, each lost independently with
+    the state-dependent probability. This is the analytic stand-in for a
+    CBR stream crossing the simulated bottleneck.
+    """
+    if packets_per_slot < 1:
+        raise ConfigurationError(
+            f"packets_per_slot must be >= 1, got {packets_per_slot}"
+        )
+    for name, probability in (
+        ("loss_prob_congested", loss_prob_congested),
+        ("loss_prob_clear", loss_prob_clear),
+    ):
+        if not 0 <= probability <= 1:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {probability}")
+    sent = 0
+    lost = 0
+    for congested in states:
+        probability = loss_prob_congested if congested else loss_prob_clear
+        for _ in range(packets_per_slot):
+            sent += 1
+            if probability > 0 and rng.random() < probability:
+                lost += 1
+    return sent, lost

@@ -1,0 +1,53 @@
+"""Virtual probe observation with the paper's exact assumption structure.
+
+§5.2.1/§5.3.1 assume the report ``y_i`` equals the truth ``Y_i`` with a
+probability that depends only on the number of 1-bits in ``Y_i`` (``p1``
+for one bit, ``p2`` for two), and otherwise collapses to all zeros; truth
+strings with no congestion are always reported faithfully.
+
+:class:`VirtualObserver` applies exactly that channel to perfect outcomes,
+so estimator tests can impose any (p1, p2) — including the p1 ≠ p2 regime
+where the basic algorithm is provably biased and the improved algorithm's
+r-correction must rescue it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import Experiment, outcomes_from_true_states
+from repro.errors import ConfigurationError
+
+
+class VirtualObserver:
+    """Degrades true outcomes through the §5 observation channel."""
+
+    def __init__(self, p1: float, p2: float, rng: random.Random):
+        if not 0 < p1 <= 1 or not 0 < p2 <= 1:
+            raise ConfigurationError(f"p1/p2 must be in (0,1], got {p1}, {p2}")
+        self.p1 = p1
+        self.p2 = p2
+        self.rng = rng
+
+    def observe_outcome(self, truth: ExperimentOutcome) -> ExperimentOutcome:
+        """Report for one experiment given its true congestion bits."""
+        ones = sum(truth.bits)
+        if ones == 0:
+            return truth
+        # The paper's model assigns a miss probability only to the states
+        # the estimators use (one or two 1-bits); fully congested windows
+        # (11, 111) have unknown fidelity and the estimators never consume
+        # them, so we conservatively report them via p2 as well.
+        keep_probability = self.p1 if ones == 1 else self.p2
+        if self.rng.random() < keep_probability:
+            return truth
+        return ExperimentOutcome(truth.start_slot, tuple(0 for _ in truth.bits))
+
+    def observe(
+        self, experiments: Sequence[Experiment], states: Sequence[bool]
+    ) -> List[ExperimentOutcome]:
+        """Observe every experiment against a truth slot sequence."""
+        perfect = outcomes_from_true_states(experiments, states)
+        return [self.observe_outcome(outcome) for outcome in perfect]

@@ -1,0 +1,134 @@
+"""Alternating renewal congestion processes over discrete slots.
+
+§5.2.2 proves the estimators consistent when "congestion is described by an
+alternating renewal process with finite mean lifetimes D and D' for the
+congested and uncongested periods". This module generates exactly such
+processes so the estimators can be validated against known truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class DurationDistribution:
+    """Base class: draws positive integer slot counts."""
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSlots(DurationDistribution):
+    """Always ``k`` slots."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"duration must be >= 1 slot, got {self.k}")
+
+    def sample(self, rng: random.Random) -> int:
+        return self.k
+
+
+@dataclass(frozen=True)
+class GeometricSlots(DurationDistribution):
+    """Geometric on {1, 2, ...} with the given mean."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if self.mean < 1.0:
+            raise ConfigurationError(f"geometric mean must be >= 1, got {self.mean}")
+
+    def sample(self, rng: random.Random) -> int:
+        if self.mean == 1.0:
+            return 1
+        # Success probability q gives mean 1/q on {1, 2, ...}.
+        q = 1.0 / self.mean
+        count = 1
+        while rng.random() > q:
+            count += 1
+        return count
+
+
+@dataclass(frozen=True)
+class UniformSlots(DurationDistribution):
+    """Uniform integer in [lo, hi]."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.lo <= self.hi:
+            raise ConfigurationError(f"need 1 <= lo <= hi, got [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+
+class AlternatingRenewalProcess:
+    """Alternating congested / uncongested periods over N slots.
+
+    Parameters
+    ----------
+    congested, uncongested:
+        Duration distributions (in slots) of the two phases.
+    rng:
+        Random stream (pass a seeded :class:`random.Random` for determinism).
+    start_congested:
+        Whether slot 0 starts inside a congested period.
+    """
+
+    def __init__(
+        self,
+        congested: DurationDistribution,
+        uncongested: DurationDistribution,
+        rng: random.Random,
+        start_congested: bool = False,
+    ):
+        self.congested = congested
+        self.uncongested = uncongested
+        self.rng = rng
+        self.start_congested = start_congested
+
+    def generate(self, n_slots: int) -> List[bool]:
+        """Return the per-slot truth Y as a list of booleans."""
+        if n_slots < 1:
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
+        states: List[bool] = []
+        congested_now = self.start_congested
+        while len(states) < n_slots:
+            dist = self.congested if congested_now else self.uncongested
+            length = dist.sample(self.rng)
+            states.extend([congested_now] * length)
+            congested_now = not congested_now
+        return states[:n_slots]
+
+    @staticmethod
+    def truth(states: Sequence[bool]) -> Tuple[float, float]:
+        """True (F, D) of a realized state sequence.
+
+        F is the fraction of congested slots; D is the mean congestion
+        episode length in slots (§5.2.2's A/B), 0.0 if no episode exists.
+        """
+        total = len(states)
+        if total == 0:
+            return 0.0, 0.0
+        congested_slots = 0
+        episodes = 0
+        previous = False
+        for state in states:
+            if state:
+                congested_slots += 1
+                if not previous:
+                    episodes += 1
+            previous = state
+        frequency = congested_slots / total
+        duration = congested_slots / episodes if episodes else 0.0
+        return frequency, duration

@@ -1,0 +1,28 @@
+"""Traffic generators (the Iperf / infinite-TCP / Harpoon substrate).
+
+* :mod:`repro.traffic.base` — application plumbing,
+* :mod:`repro.traffic.udp` — datagram sources and sinks,
+* :mod:`repro.traffic.cbr` — constant-bit-rate sources and the episodic
+  overload driver that engineers constant-duration loss episodes (the
+  paper's modified-Iperf scenarios),
+* :mod:`repro.traffic.tcp` — a from-scratch TCP Reno/NewReno model,
+* :mod:`repro.traffic.harpoon` — heavy-tailed web-like session traffic.
+"""
+
+from repro.traffic.base import Application
+from repro.traffic.udp import UdpSink, UdpSource
+from repro.traffic.cbr import CbrSource, EpisodicCbrTraffic
+from repro.traffic.tcp import TcpReceiver, TcpSender, start_tcp_flow
+from repro.traffic.harpoon import HarpoonWebTraffic
+
+__all__ = [
+    "Application",
+    "UdpSink",
+    "UdpSource",
+    "CbrSource",
+    "EpisodicCbrTraffic",
+    "TcpReceiver",
+    "TcpSender",
+    "start_tcp_flow",
+    "HarpoonWebTraffic",
+]

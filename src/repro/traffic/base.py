@@ -1,0 +1,68 @@
+"""Application plumbing.
+
+An :class:`Application` lives on a :class:`~repro.net.node.Host`, binds a
+``(protocol, port)`` pair, and exchanges packets with peers. Concrete
+sources, sinks, the TCP endpoints, and the probe tools all derive from it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.net.node import Host
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+#: Shared pool of ephemeral ports handed to applications that don't care.
+_ephemeral_ports = itertools.count(49152)
+
+
+def ephemeral_port() -> int:
+    """Allocate a process-unique ephemeral port number."""
+    return next(_ephemeral_ports)
+
+
+class Application:
+    """Base class for anything that sends or receives packets on a host."""
+
+    def __init__(self, sim: Simulator, host: Host, protocol: str, port: Optional[int] = None):
+        self.sim = sim
+        self.host = host
+        self.protocol = protocol
+        self.port = port if port is not None else ephemeral_port()
+        self._bound = False
+        self.host.bind(self.protocol, self.port, self.on_packet)
+        self._bound = True
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the port binding (idempotent)."""
+        if self._bound:
+            self.host.unbind(self.protocol, self.port)
+            self._bound = False
+
+    # ------------------------------------------------------------------ I/O
+    def on_packet(self, packet: Packet) -> None:
+        """Override to handle deliveries. Default: drop silently."""
+
+    def send_packet(
+        self,
+        dst: str,
+        size: int,
+        payload: Any = None,
+        port: Optional[int] = None,
+        flow: Optional[str] = None,
+    ) -> Packet:
+        """Build and transmit a packet from this application's host."""
+        packet = Packet(
+            src=self.host.name,
+            dst=dst,
+            size=size,
+            protocol=self.protocol,
+            port=port if port is not None else self.port,
+            payload=payload,
+            flow=flow,
+        )
+        self.host.send(packet)
+        return packet

@@ -1,0 +1,330 @@
+"""A from-scratch TCP congestion-control model (Reno with NewReno recovery).
+
+The paper's hardest traffic scenario is "40 infinite TCP sources", whose
+synchronized congestion-avoidance sawtooth produces the bursty, short loss
+episodes that defeat Poisson probing (Fig. 4, Table 1). This module models
+the parts of TCP that matter for that queue/loss process:
+
+* slow start and congestion avoidance (additive increase),
+* fast retransmit on three duplicate ACKs, fast recovery with NewReno
+  partial-ACK retransmission (the paper cites NewReno [15] as the fix born
+  from understanding loss),
+* retransmission timeouts with an RFC 6298-style RTT estimator and
+  exponential backoff (Karn's problem is avoided via timestamp echoing),
+* a receive-window cap (the paper used 256 full-size segments).
+
+Sequence numbers count MSS-sized segments rather than bytes; ACKs are
+cumulative. This keeps bookkeeping cheap without changing window dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.node import Host
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+from repro.traffic.base import Application, ephemeral_port
+
+#: Pure-ACK packet size in bytes (IP + TCP headers).
+ACK_SIZE = 40
+
+#: Lower bound on the retransmission timer, seconds.
+MIN_RTO = 0.2
+#: Upper bound on the retransmission timer, seconds.
+MAX_RTO = 60.0
+#: Initial RTO before any RTT sample (RFC 6298 says 1 s).
+INITIAL_RTO = 1.0
+
+
+class TcpReceiver(Application):
+    """Cumulative-ACK receiver with an out-of-order reassembly buffer."""
+
+    def __init__(self, sim: Simulator, host: Host, port: int):
+        super().__init__(sim, host, "tcp", port)
+        self.rcv_next = 0
+        self._out_of_order: set = set()
+        self.received_segments = 0
+        self.duplicate_segments = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq, timestamp = packet.payload
+        if kind != "data":
+            return
+        self.received_segments += 1
+        if seq == self.rcv_next:
+            self.rcv_next += 1
+            while self.rcv_next in self._out_of_order:
+                self._out_of_order.remove(self.rcv_next)
+                self.rcv_next += 1
+        elif seq > self.rcv_next:
+            self._out_of_order.add(seq)
+        else:
+            self.duplicate_segments += 1
+        # Immediate ACK; echo the arriving segment's timestamp so the sender
+        # gets clean RTT samples even across retransmissions (Karn).
+        self.send_packet(
+            packet.src,
+            ACK_SIZE,
+            payload=("ack", self.rcv_next, timestamp),
+            port=packet.port,
+            flow=packet.flow,
+        )
+
+
+class TcpSender(Application):
+    """Reno/NewReno sender.
+
+    Parameters
+    ----------
+    sim, host:
+        Simulator and the host this sender runs on.
+    dst:
+        Destination host name (a :class:`TcpReceiver` must be bound there
+        on ``port``).
+    port:
+        Shared flow port (both endpoints bind the same number).
+    mss:
+        Segment size in bytes (on-the-wire size of each data packet).
+    rwnd:
+        Receive-window cap in segments (paper: 256).
+    total_segments:
+        If given, the flow finishes after this many segments are acked and
+        ``on_complete`` fires; if None the source is infinite.
+    start:
+        Absolute start time.
+    on_complete:
+        Callback ``f(sender)`` invoked once when a finite flow completes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: str,
+        port: int,
+        mss: int = 1500,
+        rwnd: int = 256,
+        total_segments: Optional[int] = None,
+        start: float = 0.0,
+        on_complete: Optional[Callable[["TcpSender"], None]] = None,
+        initial_cwnd: float = 2.0,
+    ):
+        if mss <= ACK_SIZE:
+            raise ConfigurationError(f"mss too small: {mss}")
+        if rwnd < 2:
+            raise ConfigurationError(f"rwnd must be >= 2 segments: {rwnd}")
+        if total_segments is not None and total_segments < 1:
+            raise ConfigurationError("total_segments must be >= 1")
+        super().__init__(sim, host, "tcp", port)
+        self.dst = dst
+        self.mss = mss
+        self.rwnd = rwnd
+        self.total_segments = total_segments
+        self.on_complete = on_complete
+        self.flow = f"tcp:{host.name}->{dst}:{port}"
+
+        # --- congestion state -------------------------------------------------
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(rwnd)
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = 0
+
+        # --- RTT estimation ---------------------------------------------------
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = INITIAL_RTO
+        self._rto_event = None
+        self._backoff = 1
+
+        # --- statistics -------------------------------------------------------
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.completed = False
+
+        sim.schedule_at(max(start, sim.now), self._try_send)
+
+    # ----------------------------------------------------------------- window
+    @property
+    def flight_size(self) -> int:
+        """Outstanding segments (pipe model)."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def effective_window(self) -> int:
+        return int(min(self.cwnd, float(self.rwnd)))
+
+    def _has_data(self) -> bool:
+        if self.total_segments is None:
+            return True
+        return self.snd_nxt < self.total_segments
+
+    # ------------------------------------------------------------------- send
+    def _try_send(self) -> None:
+        if self.completed:
+            return
+        sent_any = False
+        while self.flight_size < self.effective_window and self._has_data():
+            self._emit(self.snd_nxt)
+            self.snd_nxt += 1
+            sent_any = True
+        if sent_any:
+            self._ensure_timer()
+
+    def _emit(self, seq: int) -> None:
+        self.segments_sent += 1
+        self.send_packet(
+            self.dst,
+            self.mss,
+            payload=("data", seq, self.sim.now),
+            flow=self.flow,
+        )
+
+    # ------------------------------------------------------------------- ACKs
+    def on_packet(self, packet: Packet) -> None:
+        if self.completed:
+            return
+        kind, ack, ts_echo = packet.payload
+        if kind != "ack":
+            return
+        if ack > self.snd_una:
+            self._handle_new_ack(ack, ts_echo)
+        elif ack == self.snd_una and self.flight_size > 0:
+            self._handle_dupack()
+
+    def _handle_new_ack(self, ack: int, ts_echo: float) -> None:
+        self._sample_rtt(self.sim.now - ts_echo)
+        newly_acked = ack - self.snd_una
+        if self.in_recovery:
+            if ack >= self.recover:
+                # Full ACK: leave recovery, deflate to ssthresh.
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+                self.dupacks = 0
+            else:
+                # NewReno partial ACK: the next hole starts at `ack`;
+                # retransmit it and deflate by the amount acked.
+                self.retransmits += 1
+                self._emit(ack)
+                self.cwnd = max(self.cwnd - newly_acked + 1, 1.0)
+        else:
+            self.dupacks = 0
+            for _ in range(newly_acked):
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += 1.0  # slow start
+                else:
+                    self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+            self.cwnd = min(self.cwnd, float(self.rwnd))
+        self.snd_una = ack
+        self._backoff = 1
+        self._restart_timer()
+        if self.total_segments is not None and self.snd_una >= self.total_segments:
+            self._complete()
+            return
+        self._try_send()
+
+    def _handle_dupack(self) -> None:
+        self.dupacks += 1
+        if self.in_recovery:
+            self.cwnd += 1.0  # window inflation per additional dupack
+            self._try_send()
+        elif self.dupacks == 3:
+            self.fast_retransmits += 1
+            self.retransmits += 1
+            self.ssthresh = max(self.flight_size / 2.0, 2.0)
+            self.in_recovery = True
+            self.recover = self.snd_nxt
+            self._emit(self.snd_una)
+            self.cwnd = self.ssthresh + 3.0
+            self._restart_timer()
+
+    # ------------------------------------------------------------------ timer
+    def _ensure_timer(self) -> None:
+        if self._rto_event is None:
+            self._rto_event = self.sim.schedule(self.rto * self._backoff, self._on_timeout)
+
+    def _restart_timer(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.flight_size > 0:
+            self._ensure_timer()
+
+    def _on_timeout(self) -> None:
+        self._rto_event = None
+        if self.completed or self.flight_size == 0:
+            return
+        self.timeouts += 1
+        self.retransmits += 1
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False
+        self._backoff = min(self._backoff * 2, 64)
+        self._emit(self.snd_una)
+        self._ensure_timer()
+
+    # ------------------------------------------------------------------- RTT
+    def _sample_rtt(self, sample: float) -> None:
+        if sample < 0:
+            return
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar, MIN_RTO), MAX_RTO)
+
+    # ------------------------------------------------------------- completion
+    def _complete(self) -> None:
+        self.completed = True
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        self.close()
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
+def start_tcp_flow(
+    sim: Simulator,
+    sender_host: Host,
+    receiver_host: Host,
+    total_segments: Optional[int] = None,
+    mss: int = 1500,
+    rwnd: int = 256,
+    start: float = 0.0,
+    on_complete: Optional[Callable[[TcpSender], None]] = None,
+) -> TcpSender:
+    """Wire up a receiver/sender pair on a fresh port and start the flow.
+
+    For finite flows the receiver's port binding is released automatically
+    when the sender completes, so long-running Harpoon-style workloads do
+    not leak bindings.
+    """
+    port = ephemeral_port()
+    receiver = TcpReceiver(sim, receiver_host, port)
+
+    def _finish(sender: TcpSender) -> None:
+        receiver.close()
+        if on_complete is not None:
+            on_complete(sender)
+
+    return TcpSender(
+        sim,
+        sender_host,
+        receiver_host.name,
+        port,
+        mss=mss,
+        rwnd=rwnd,
+        total_segments=total_segments,
+        start=start,
+        on_complete=_finish if total_segments is not None else on_complete,
+    )

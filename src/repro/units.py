@@ -1,0 +1,74 @@
+"""Units and conversion helpers.
+
+The simulator works internally in SI base units:
+
+* time in **seconds** (float),
+* data sizes in **bytes** (int),
+* rates in **bits per second** (float).
+
+These helpers exist so that configuration code can say ``mbps(155)`` or
+``ms(100)`` instead of sprinkling magic multipliers around.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; named to make rate/size conversions self-documenting.
+BITS_PER_BYTE = 8
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to bits/second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return float(value) * 1e9
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds (for display)."""
+    return float(value) * 1e3
+
+
+def kib(value: float) -> int:
+    """Convert KiB to bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """Convert MiB to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def transmission_time(size_bytes: int, rate_bps: float) -> float:
+    """Serialization delay of ``size_bytes`` on a ``rate_bps`` link."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes * BITS_PER_BYTE / rate_bps
+
+
+def bytes_for_duration(duration_s: float, rate_bps: float) -> int:
+    """How many bytes a ``rate_bps`` link carries in ``duration_s`` seconds.
+
+    Used, e.g., to size a buffer to "100 milliseconds of packets" the way
+    the paper's testbed bottleneck was configured.
+    """
+    if duration_s < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_s}")
+    return int(duration_s * rate_bps / BITS_PER_BYTE)

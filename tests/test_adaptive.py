@@ -1,0 +1,86 @@
+"""Tests for the adaptive (open-ended) measurement mode."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMeasurement, AdaptiveOutcome
+from repro.core.validation import SequentialValidator
+from repro.errors import ConfigurationError
+from repro.experiments.runner import apply_scenario, build_testbed
+
+
+def build(seed=1, scenario=True, **kwargs):
+    sim, testbed = build_testbed(seed=seed)
+    if scenario:
+        apply_scenario(
+            sim, testbed, "episodic_cbr",
+            episode_durations=(0.068,), mean_spacing=2.0,
+        )
+    defaults = dict(p=0.3, chunk_seconds=20.0, max_seconds=300.0, start=2.0)
+    defaults.update(kwargs)
+    measurement = AdaptiveMeasurement(
+        sim, testbed.probe_sender, testbed.probe_receiver, **defaults
+    )
+    return sim, testbed, measurement
+
+
+def test_converges_on_busy_path():
+    _sim, _testbed, measurement = build(
+        validator=SequentialValidator(target_relative_error=0.35,
+                                      min_transitions=8),
+    )
+    outcome = measurement.run()
+    assert outcome.reason == "converged"
+    assert outcome.trustworthy
+    assert outcome.elapsed < measurement.max_seconds
+    assert outcome.result.frequency > 0
+
+
+def test_exhausts_on_idle_path():
+    _sim, _testbed, measurement = build(
+        scenario=False, chunk_seconds=10.0, max_seconds=40.0
+    )
+    outcome = measurement.run()
+    assert outcome.reason == "exhausted"
+    assert not outcome.trustworthy
+    assert outcome.elapsed == pytest.approx(40.0)
+    assert outcome.result.frequency == 0.0
+
+
+def test_progress_is_recorded_per_chunk():
+    _sim, _testbed, measurement = build(
+        scenario=False, chunk_seconds=10.0, max_seconds=30.0
+    )
+    outcome = measurement.run()
+    assert outcome.chunks == 3
+    assert len(measurement.progress) == 3
+    elapsed_values = [entry[0] for entry in measurement.progress]
+    assert elapsed_values == [10.0, 20.0, 30.0]
+
+
+def test_lower_p_needs_more_time():
+    _sim, _tb, fast = build(
+        seed=7, p=0.7,
+        validator=SequentialValidator(target_relative_error=0.3,
+                                      min_transitions=8),
+    )
+    fast_outcome = fast.run()
+    _sim2, _tb2, slow = build(
+        seed=7, p=0.05,
+        validator=SequentialValidator(target_relative_error=0.3,
+                                      min_transitions=8),
+    )
+    slow_outcome = slow.run()
+    assert fast_outcome.reason == "converged"
+    assert slow_outcome.elapsed >= fast_outcome.elapsed
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        build(chunk_seconds=0.0)
+    with pytest.raises(ConfigurationError):
+        build(chunk_seconds=60.0, max_seconds=30.0)
+
+
+def test_outcome_dataclass_shape():
+    outcome = AdaptiveOutcome(result=None, elapsed=1.0, chunks=1, reason="aborted")
+    assert not outcome.trustworthy

@@ -1,0 +1,91 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "episodic_cbr" in out
+    assert "table8" in out
+    assert "fig9b" in out
+
+
+def test_measure_command_smoke(capsys):
+    code = main([
+        "measure", "episodic_cbr", "--p", "0.5", "--slots", "4000",
+        "--seed", "3", "--profile", "smoke",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "loss frequency" in out
+    assert "validation" in out
+
+
+def test_zing_command_smoke(capsys):
+    code = main([
+        "zing", "episodic_cbr", "--rate", "20", "--size", "64",
+        "--duration", "20", "--profile", "smoke",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "probes sent" in out
+    assert "reported" in out
+
+
+def test_table_command_rejects_unknown(capsys):
+    assert main(["table", "9"]) == 2
+    assert "unknown table" in capsys.readouterr().err
+
+
+def test_figure_command_rejects_unknown(capsys):
+    assert main(["figure", "99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_figure_name_normalization(capsys):
+    # "5" and "fig5" both resolve.
+    parser = build_parser()
+    args = parser.parse_args(["figure", "5", "--profile", "smoke"])
+    assert args.handler(args) == 0
+    assert "fig5" in capsys.readouterr().out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_measure_improved_flag_parses():
+    parser = build_parser()
+    args = parser.parse_args(["measure", "harpoon_web", "--improved"])
+    assert args.improved is True
+    assert args.scenario == "harpoon_web"
+
+
+def test_measure_save_and_analyze_round_trip(tmp_path, capsys):
+    trace = tmp_path / "m.jsonl"
+    code = main([
+        "measure", "episodic_cbr", "--p", "0.5", "--slots", "4000",
+        "--seed", "5", "--profile", "smoke", "--save", str(trace),
+    ])
+    assert code == 0
+    assert trace.exists()
+    capsys.readouterr()
+    code = main(["analyze", str(trace), "--alpha", "0.1", "--tau", "0.04"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "estimated loss frequency" in out
+    assert "N=4000" in out
+
+
+def test_analyze_rejects_garbage(tmp_path):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"type": "nope"}\n')
+    import pytest as _pytest
+    from repro.errors import ConfigurationError
+
+    with _pytest.raises(ConfigurationError):
+        main(["analyze", str(bogus)])

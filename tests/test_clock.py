@@ -1,0 +1,109 @@
+"""Tests for clock models and convex-hull skew removal (§7)."""
+
+import random
+
+import pytest
+
+from repro.core.clock import Clock, estimate_skew, lower_convex_hull, remove_skew
+from repro.errors import EstimationError
+
+
+def test_clock_reads_affine():
+    clock = Clock(offset=2.0, skew=1e-4)
+    assert clock.read(0.0) == 2.0
+    assert clock.read(1000.0) == pytest.approx(1000.1 + 2.0)
+
+
+def test_clock_rejects_degenerate_skew():
+    with pytest.raises(EstimationError):
+        Clock(skew=-1.0)
+
+
+def test_lower_convex_hull_simple():
+    points = [(0.0, 1.0), (1.0, 0.5), (2.0, 2.0), (3.0, 0.2), (4.0, 3.0)]
+    hull = lower_convex_hull(sorted(points))
+    assert hull[0] == (0.0, 1.0)
+    assert hull[-1] == (4.0, 3.0)
+    assert (3.0, 0.2) in hull
+    assert (2.0, 2.0) not in hull
+
+
+def test_skew_estimated_from_noisy_owds():
+    # True OWD = 50 ms floor + positive queueing noise; receiver clock runs
+    # 50 ppm fast, so measured OWD drifts upward at 5e-5 s/s.
+    rng = random.Random(1)
+    skew = 5e-5
+    points = []
+    for i in range(2000):
+        t = i * 0.5
+        queueing = rng.expovariate(1 / 0.01) if rng.random() < 0.9 else 0.0
+        points.append((t, 0.050 + skew * t + queueing))
+    intercept, slope = estimate_skew(points)
+    assert slope == pytest.approx(skew, rel=0.05)
+    assert intercept == pytest.approx(0.050, abs=0.002)
+
+
+def test_skew_zero_when_clocks_agree():
+    points = [(float(i), 0.05 + (0.01 if i % 7 == 0 else 0.0)) for i in range(500)]
+    _intercept, slope = estimate_skew(points)
+    assert slope == pytest.approx(0.0, abs=1e-6)
+
+
+def test_remove_skew_flattens_the_floor():
+    skew = 1e-4
+    points = [(i * 1.0, 0.05 + skew * i) for i in range(100)]
+    cleaned = remove_skew(points)
+    delays = [d for _t, d in cleaned]
+    assert max(delays) - min(delays) < 1e-9
+    assert delays[0] == pytest.approx(0.05)
+
+
+def test_remove_skew_preserves_queueing_excursions():
+    skew = 1e-4
+    points = []
+    for i in range(100):
+        extra = 0.02 if i == 50 else 0.0
+        points.append((i * 1.0, 0.05 + skew * i + extra))
+    cleaned = remove_skew(points)
+    flat = [d for t, d in cleaned if t != 50.0]
+    spike = [d for t, d in cleaned if t == 50.0][0]
+    assert spike - max(flat) == pytest.approx(0.02, rel=0.01)
+
+
+def test_estimate_skew_needs_two_distinct_times():
+    with pytest.raises(EstimationError):
+        estimate_skew([(1.0, 0.05)])
+    with pytest.raises(EstimationError):
+        estimate_skew([(1.0, 0.05), (1.0, 0.06)])
+
+
+def test_deskew_probe_records_restores_flat_floor():
+    from repro.core.clock import deskew_probe_records
+    from repro.core.records import ProbeRecord
+
+    skew = 1e-4
+    probes = [
+        ProbeRecord(
+            slot=i,
+            send_time=i * 1.0,
+            n_packets=2,
+            owds=(0.05 + skew * i, 0.05 + skew * i),
+            owd_before_loss=(0.15 + skew * i) if i == 50 else None,
+        )
+        for i in range(100)
+    ]
+    cleaned = deskew_probe_records(probes)
+    floors = [probe.owds[0] for probe in cleaned]
+    assert max(floors) - min(floors) < 1e-9
+    # The OWD_max estimate at i=50 keeps its 100 ms queueing excursion.
+    assert cleaned[50].owd_before_loss - cleaned[50].owds[0] == pytest.approx(0.1)
+
+
+def test_deskew_probe_records_passthrough_when_underdetermined():
+    from repro.core.clock import deskew_probe_records
+    from repro.core.records import ProbeRecord
+
+    lonely = [ProbeRecord(slot=0, send_time=0.0, n_packets=3, owds=(0.05,))]
+    assert deskew_probe_records(lonely) == lonely
+    empty = []
+    assert deskew_probe_records(empty) == []

@@ -1,0 +1,103 @@
+"""Tests for one-way-delay analytics."""
+
+import pytest
+
+from repro.analysis.delays import (
+    DelayDistribution,
+    congestion_delay_ratio,
+    delay_floor,
+    owd_samples,
+    queueing_delays,
+    summarize_delays,
+)
+from repro.core.records import ProbeRecord
+from repro.errors import EstimationError
+from repro.experiments.runner import run_badabing
+
+
+def probe(slot, send_time, owds, n_packets=3):
+    return ProbeRecord(slot=slot, send_time=send_time, n_packets=n_packets,
+                       owds=tuple(owds))
+
+
+def test_owd_samples_flatten_in_order():
+    probes = [probe(0, 0.0, [0.05, 0.051]), probe(2, 0.01, [0.06])]
+    samples = owd_samples(probes)
+    assert samples == [(0.0, 0.05), (0.0, 0.051), (0.01, 0.06)]
+
+
+def test_delay_floor_and_queueing():
+    samples = [(0.0, 0.05), (1.0, 0.09), (2.0, 0.15)]
+    assert delay_floor(samples) == 0.05
+    assert queueing_delays(samples) == pytest.approx([0.0, 0.04, 0.10])
+
+
+def test_empty_samples_raise():
+    with pytest.raises(EstimationError):
+        delay_floor([])
+    with pytest.raises(EstimationError):
+        summarize_delays([])
+
+
+def test_summary_quantiles():
+    values = [float(i) for i in range(101)]  # 0..100
+    summary = summarize_delays(values)
+    assert summary.n == 101
+    assert summary.minimum == 0.0
+    assert summary.p50 == 50.0
+    assert summary.p90 == 90.0
+    assert summary.p99 == 99.0
+    assert summary.maximum == 100.0
+    assert summary.mean == 50.0
+    assert summary.spread() == 100.0
+
+
+def test_summary_single_value():
+    summary = summarize_delays([0.05])
+    assert summary.p50 == summary.p99 == 0.05
+    assert isinstance(summary, DelayDistribution)
+
+
+def test_congestion_delay_ratio_separates_classes():
+    probes = [
+        # A loss at t=1.0; nearby probes delayed, distant ones at floor.
+        ProbeRecord(slot=200, send_time=1.0, n_packets=3, owds=(0.15, 0.15)),
+        probe(202, 1.01, [0.145] * 3),
+        probe(204, 1.02, [0.14] * 3),
+        probe(400, 2.0, [0.05] * 3),
+        probe(402, 2.01, [0.051] * 3),
+    ]
+    ratio = congestion_delay_ratio(probes, tau=0.05)
+    assert ratio == pytest.approx(0.145 / 0.0505, rel=0.05)
+    assert ratio > 2.0
+
+
+def test_congestion_delay_ratio_requires_both_classes():
+    with pytest.raises(EstimationError):
+        congestion_delay_ratio([probe(0, 0.0, [0.05])], tau=0.05)  # no losses
+    lossy = ProbeRecord(slot=0, send_time=0.0, n_packets=3, owds=(0.1,))
+    with pytest.raises(EstimationError):
+        congestion_delay_ratio([lossy], tau=10.0)  # nothing far from loss
+    with pytest.raises(EstimationError):
+        congestion_delay_ratio([lossy], tau=-1.0)
+
+
+def test_delay_analytics_on_real_measurement():
+    keep = {}
+    result, _truth = run_badabing(
+        "episodic_cbr", p=0.5, n_slots=12_000, seed=33,
+        scenario_kwargs={"episode_durations": (0.068,), "mean_spacing": 3.0},
+        warmup=5.0, keep=keep,
+    )
+    samples = owd_samples(result.probes)
+    floor = delay_floor(samples)
+    # Propagation floor ~50.3 ms plus serialization.
+    assert floor == pytest.approx(0.0507, abs=0.002)
+    summary = summarize_delays(queueing_delays(samples))
+    assert summary.minimum == 0.0
+    # Engineered episodes push queueing delay to ~100 ms at the top.
+    assert summary.maximum == pytest.approx(0.1, abs=0.02)
+    # Median sample sits at the empty-queue floor (link idle between bursts).
+    assert summary.p50 < 0.01
+    ratio = congestion_delay_ratio(result.probes, tau=0.02)
+    assert ratio > 1.5

@@ -1,0 +1,197 @@
+"""Tests for the §5 frequency and duration estimators."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.estimators import (
+    LossEstimate,
+    count_patterns,
+    estimate_from_outcomes,
+    predicted_duration_stddev,
+)
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import GeometricSchedule, outcomes_from_true_states
+from repro.errors import EstimationError
+from repro.synthetic.renewal import (
+    AlternatingRenewalProcess,
+    FixedSlots,
+    GeometricSlots,
+    UniformSlots,
+)
+from repro.synthetic.observer import VirtualObserver
+
+
+def outcome(start, bits):
+    return ExperimentOutcome(start, tuple(bits))
+
+
+def test_no_outcomes_raises():
+    with pytest.raises(EstimationError):
+        estimate_from_outcomes([])
+
+
+def test_frequency_is_mean_of_first_bits():
+    outcomes = [
+        outcome(0, (0, 1)),
+        outcome(2, (1, 0)),
+        outcome(4, (1, 1)),
+        outcome(6, (0, 0)),
+    ]
+    estimate = estimate_from_outcomes(outcomes)
+    assert estimate.frequency == pytest.approx(0.5)  # first bits 0,1,1,0
+
+
+def test_duration_formula_matches_paper():
+    # R = #{01,10,11}, S = #{01,10}; D = 2(R/S - 1) + 1.
+    outcomes = (
+        [outcome(0, (0, 1))] * 10
+        + [outcome(0, (1, 0))] * 10
+        + [outcome(0, (1, 1))] * 30
+        + [outcome(0, (0, 0))] * 50
+    )
+    estimate = estimate_from_outcomes(outcomes)
+    # R = 50, S = 20 -> D = 2(2.5 - 1) + 1 = 4 slots.
+    assert estimate.duration_slots == pytest.approx(4.0)
+    assert estimate.counts["R"] == 50
+    assert estimate.counts["S"] == 20
+    assert estimate.duration_valid
+    assert estimate.duration_seconds(0.005) == pytest.approx(0.02)
+
+
+def test_duration_invalid_when_no_transitions():
+    outcomes = [outcome(0, (1, 1))] * 5 + [outcome(0, (0, 0))] * 5
+    estimate = estimate_from_outcomes(outcomes)
+    assert math.isnan(estimate.duration_slots)
+    assert not estimate.duration_valid
+    assert math.isnan(estimate.duration_seconds(0.005))
+
+
+def test_improved_estimator_uses_r_hat():
+    outcomes = (
+        [outcome(0, (0, 1))] * 10
+        + [outcome(0, (1, 0))] * 10
+        + [outcome(0, (1, 1))] * 30
+        + [outcome(0, (0, 1, 1))] * 5
+        + [outcome(0, (1, 1, 0))] * 5
+        + [outcome(0, (0, 0, 1))] * 20
+        + [outcome(0, (1, 0, 0))] * 20
+    )
+    estimate = estimate_from_outcomes(outcomes)
+    assert estimate.improved
+    # U = 10, V = 40 -> r_hat = 0.25; D = (2V/U)(R/S - 1) + 1.
+    assert estimate.r_hat == pytest.approx(0.25)
+    assert estimate.duration_slots == pytest.approx((2 * 40 / 10) * (50 / 20 - 1) + 1)
+
+
+def test_improved_invalid_when_u_zero():
+    outcomes = [outcome(0, (0, 1))] * 5 + [outcome(0, (0, 0, 1))] * 5
+    estimate = estimate_from_outcomes(outcomes, improved=True)
+    assert not estimate.duration_valid
+
+
+def test_force_basic_on_mixed_outcomes():
+    outcomes = [outcome(0, (0, 1))] * 4 + [outcome(0, (1, 1))] * 4 + [outcome(0, (0, 1, 1))] * 4
+    estimate = estimate_from_outcomes(outcomes, improved=False)
+    assert not estimate.improved
+    assert estimate.duration_valid
+
+
+def test_extended_prefix_folding():
+    outcomes = [outcome(0, (0, 1))] * 2 + [outcome(0, (0, 1, 1))] * 3
+    base = estimate_from_outcomes(outcomes, improved=False)
+    folded = estimate_from_outcomes(
+        outcomes, improved=False, include_extended_prefixes=True
+    )
+    assert base.counts["S"] == 2
+    assert folded.counts["S"] == 5  # prefixes "01" of the triples fold in
+
+
+def test_count_patterns_separates_basic_and_extended():
+    outcomes = [outcome(0, (0, 1)), outcome(0, (0, 1, 1)), outcome(0, (0, 0, 1))]
+    counter = count_patterns(outcomes)
+    assert counter["S"] == 1  # only the basic 01
+    assert counter["U"] == 1
+    assert counter["V"] == 1
+    assert counter["M"] == 3
+
+
+def test_frequency_unbiased_on_renewal_process():
+    rng = random.Random(11)
+    process = AlternatingRenewalProcess(GeometricSlots(4), GeometricSlots(36), rng)
+    states = process.generate(200_000)
+    true_f, _true_d = AlternatingRenewalProcess.truth(states)
+    schedule = GeometricSchedule(0.2, len(states), random.Random(7))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    estimate = estimate_from_outcomes(outcomes)
+    assert estimate.frequency == pytest.approx(true_f, rel=0.05)
+
+
+def test_duration_consistent_on_renewal_process():
+    # §5.2.2: with perfect observation, D-hat converges to A/B.
+    rng = random.Random(13)
+    process = AlternatingRenewalProcess(GeometricSlots(5), GeometricSlots(45), rng)
+    states = process.generate(400_000)
+    _true_f, true_d = AlternatingRenewalProcess.truth(states)
+    schedule = GeometricSchedule(0.3, len(states), random.Random(5))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    estimate = estimate_from_outcomes(outcomes)
+    assert estimate.duration_slots == pytest.approx(true_d, rel=0.1)
+
+
+def test_duration_exact_for_deterministic_process():
+    # Fixed 3-slot episodes, fixed 7-slot gaps, p=1 (every pair observed):
+    # R/S is exactly (A+B)/(2B) over interior windows.
+    process = AlternatingRenewalProcess(
+        FixedSlots(3), FixedSlots(7), random.Random(17)
+    )
+    states = process.generate(100_000)
+    schedule = GeometricSchedule(1.0, len(states), random.Random(3))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    estimate = estimate_from_outcomes(outcomes)
+    assert estimate.duration_slots == pytest.approx(3.0, rel=0.01)
+
+
+def test_basic_estimator_biased_when_p1_neq_p2_and_improved_corrects():
+    # The paper's motivation for the improved algorithm: with p1 != p2 the
+    # basic D-hat is systematically off; the r correction fixes it.
+    #
+    # The §5.3 identity #{011,110} = 2B requires every episode and every
+    # congestion-free gap to span at least 2 slots (the §7 requirement that
+    # discretization be finer than the episode time scales), so draw both
+    # phase lengths from distributions bounded away from 1.
+    rng = random.Random(23)
+    process = AlternatingRenewalProcess(UniformSlots(2, 6), UniformSlots(20, 52), rng)
+    states = process.generate(600_000)
+    _f, true_d = AlternatingRenewalProcess.truth(states)
+    schedule = GeometricSchedule(0.5, len(states), random.Random(29), improved=True)
+    observer = VirtualObserver(p1=0.9, p2=0.45, rng=random.Random(31))
+    outcomes = observer.observe(schedule.experiments, states)
+    biased = estimate_from_outcomes(outcomes, improved=False)
+    corrected = estimate_from_outcomes(outcomes, improved=True)
+    assert corrected.duration_slots == pytest.approx(true_d, rel=0.15)
+    # The uncorrected estimate is visibly worse (underestimates: 11s are
+    # reported less often than transitions, shrinking R/S).
+    assert abs(biased.duration_slots - true_d) > 2 * abs(
+        corrected.duration_slots - true_d
+    )
+
+
+def test_predicted_duration_stddev():
+    assert predicted_duration_stddev(0.1, 180_000, 0.001) == pytest.approx(
+        1.0 / math.sqrt(18.0)
+    )
+    with pytest.raises(EstimationError):
+        predicted_duration_stddev(0.0, 100, 0.1)
+
+
+def test_ratio_rs_property():
+    estimate = LossEstimate(
+        frequency=0.1, duration_slots=2.0, n_experiments=10, counts={"R": 6, "S": 3}
+    )
+    assert estimate.ratio_rs == pytest.approx(2.0)
+    empty = LossEstimate(
+        frequency=0.0, duration_slots=float("nan"), n_experiments=1, counts={"S": 0}
+    )
+    assert math.isnan(empty.ratio_rs)

@@ -1,0 +1,88 @@
+"""Tests for the figure-reproduction harness (smoke profile)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure_5,
+    figure_8,
+    figure_9a,
+    probe_train_miss_probability,
+)
+from repro.experiments.profiles import SMOKE
+
+
+def test_registry_has_all_figures():
+    assert sorted(ALL_FIGURES) == [
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
+    ]
+
+
+def test_figure5_series_shape():
+    series = figure_5(profile=SMOKE)
+    assert len(series.times) == len(series.delays)
+    assert len(series.times) > 1000
+    # Queue idles at zero between engineered episodes and peaks near the
+    # 100 ms buffer during them.
+    assert min(series.delays) == 0.0
+    assert max(series.delays) == pytest.approx(0.1, abs=0.01)
+    assert series.episodes
+
+
+def test_fig7_single_point_cbr_misses_about_half():
+    probability, hits = probe_train_miss_probability(
+        "episodic_cbr",
+        train_length=1,
+        duration=60.0,
+        seed=2,
+        scenario_kwargs={"episode_durations": (0.068,), "mean_spacing": 3.0},
+    )
+    assert hits > 50
+    # Single packets pass through a 2x-overloaded queue roughly half the
+    # time (the paper's CBR curve starts near 0.5).
+    assert 0.2 < probability < 0.8
+
+
+def test_fig7_longer_trains_miss_less_cbr():
+    kwargs = {"episode_durations": (0.068,), "mean_spacing": 3.0}
+    short, hits_short = probe_train_miss_probability(
+        "episodic_cbr", 1, duration=60.0, seed=2, scenario_kwargs=kwargs
+    )
+    long, hits_long = probe_train_miss_probability(
+        "episodic_cbr", 4, duration=60.0, seed=2, scenario_kwargs=kwargs
+    )
+    assert hits_short > 0 and hits_long > 0
+    assert long < short
+    assert long < 0.25
+
+
+def test_fig8_probe_impact_grows_with_train_length():
+    results = figure_8(profile=SMOKE, train_lengths=(0, 3, 10))
+    assert [item.train_length for item in results] == [0, 3, 10]
+    assert results[0].probe_load_fraction == 0.0
+    assert results[1].probe_load_fraction < results[2].probe_load_fraction
+    # With probes in play, some probe packets die during episodes.
+    assert len(results[2].probe_drop_times) >= len(results[1].probe_drop_times)
+    assert results[0].probe_drop_times == []
+    for item in results:
+        assert item.series.episodes
+
+
+def test_fig9a_frequency_rises_with_alpha():
+    sweep = figure_9a(profile=SMOKE)
+    assert sweep.parameter == "alpha"
+    assert set(sweep.curves) == {0.05, 0.10, 0.20}
+    # For each p, a more permissive alpha marks at least as many slots.
+    for p_index in range(len(next(iter(sweep.curves.values())))):
+        estimates = [sweep.curves[a][p_index][1] for a in (0.05, 0.10, 0.20)]
+        assert estimates[0] <= estimates[1] + 1e-9
+        assert estimates[1] <= estimates[2] + 1e-9
+    assert sweep.true_frequency > 0
+
+
+def test_probe_train_validation():
+    import pytest as _pytest
+    from repro.errors import ConfigurationError
+
+    with _pytest.raises(ConfigurationError):
+        probe_train_miss_probability("episodic_cbr", 0, duration=1.0, seed=1)

@@ -1,0 +1,87 @@
+"""Tests for the Gilbert(-Elliott) synthetic channel."""
+
+import random
+
+import pytest
+
+from repro.core.parametric import estimate_gilbert
+from repro.core.schedule import GeometricSchedule, outcomes_from_true_states
+from repro.errors import ConfigurationError
+from repro.synthetic.gilbert import GilbertProcess, sample_packet_losses
+from repro.synthetic.renewal import AlternatingRenewalProcess
+
+
+def test_closed_form_properties():
+    process = GilbertProcess(g=0.25, b=0.025, rng=random.Random(1))
+    assert process.mean_episode_slots == pytest.approx(4.0)
+    assert process.mean_gap_slots == pytest.approx(40.0)
+    assert process.frequency == pytest.approx(0.025 / 0.275)
+
+
+def test_generated_series_matches_parameters():
+    process = GilbertProcess(g=0.2, b=0.02, rng=random.Random(2))
+    states = process.generate(300_000)
+    frequency, duration = AlternatingRenewalProcess.truth(states)
+    assert frequency == pytest.approx(process.frequency, rel=0.08)
+    assert duration == pytest.approx(5.0, rel=0.08)
+
+
+def test_parametric_estimator_recovers_gilbert_parameters():
+    # End-to-end consistency: generate from Gilbert, observe through the
+    # geometric schedule, fit with the §8 parametric estimator.
+    process = GilbertProcess(g=0.2, b=0.01, rng=random.Random(3))
+    states = process.generate(400_000)
+    schedule = GeometricSchedule(0.3, len(states), random.Random(4))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    fit = estimate_gilbert(outcomes)
+    assert fit.g == pytest.approx(0.2, rel=0.05)
+    assert fit.b == pytest.approx(0.01, rel=0.1)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        GilbertProcess(g=0.0, b=0.1, rng=random.Random(5))
+    with pytest.raises(ConfigurationError):
+        GilbertProcess(g=0.1, b=1.5, rng=random.Random(5))
+
+
+def test_packet_losses_track_state_dependent_probability():
+    rng = random.Random(6)
+    states = [True] * 5000 + [False] * 5000
+    sent, lost = sample_packet_losses(
+        states, packets_per_slot=2, rng=rng,
+        loss_prob_congested=0.5, loss_prob_clear=0.0,
+    )
+    assert sent == 20_000
+    # Only the congested half loses, at ~50%: ~5000 of 10,000.
+    assert lost == pytest.approx(5000, rel=0.1)
+
+
+def test_packet_losses_clear_channel_lossless():
+    sent, lost = sample_packet_losses(
+        [False] * 100, packets_per_slot=3, rng=random.Random(7)
+    )
+    assert (sent, lost) == (300, 0)
+
+
+def test_packet_loss_validation():
+    with pytest.raises(ConfigurationError):
+        sample_packet_losses([True], 0, random.Random(8))
+    with pytest.raises(ConfigurationError):
+        sample_packet_losses([True], 1, random.Random(8), loss_prob_congested=1.5)
+
+
+def test_zing_style_underestimate_on_gilbert_channel():
+    # The paper's core phenomenon, reproduced analytically: a per-packet
+    # loss fraction (what ZING reports) equals F x loss-prob-in-episode,
+    # strictly below the congestion frequency F whenever that probability
+    # is below 1.
+    process = GilbertProcess(g=0.2, b=0.005, rng=random.Random(9))
+    states = process.generate(200_000)
+    sent, lost = sample_packet_losses(
+        states, packets_per_slot=1, rng=random.Random(10),
+        loss_prob_congested=0.5,
+    )
+    packet_loss_fraction = lost / sent
+    frequency, _ = AlternatingRenewalProcess.truth(states)
+    assert packet_loss_fraction < 0.6 * frequency

@@ -1,0 +1,111 @@
+"""Tests for the Harpoon-like web traffic generator."""
+
+import pytest
+
+from repro.analysis.episodes import episodes_from_monitor
+from repro.errors import ConfigurationError
+from repro.net.simulator import Simulator
+from repro.net.topology import DumbbellTestbed
+from repro.traffic.harpoon import HarpoonWebTraffic
+
+
+def build(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    testbed = DumbbellTestbed(sim)
+    defaults = dict(session_rate=2.0, surge_interval_mean=10.0)
+    defaults.update(kwargs)
+    traffic = HarpoonWebTraffic(
+        sim, testbed.traffic_senders, testbed.traffic_receivers, **defaults
+    )
+    return sim, testbed, traffic
+
+
+def test_sessions_arrive_at_configured_rate():
+    sim, _testbed, traffic = build(surge_interval_mean=0.0)
+    sim.run(until=60.0)
+    # Poisson(2/s) over 60 s: ~120 sessions, allow wide tolerance.
+    assert 80 <= traffic.sessions_started <= 170
+
+
+def test_transfers_complete():
+    sim, _testbed, traffic = build()
+    sim.run(until=60.0)
+    assert traffic.transfers_started > 0
+    # Some flows may still be in flight; most must have completed.
+    assert traffic.transfers_completed >= 0.8 * traffic.transfers_started
+
+
+def test_file_sizes_are_heavy_tailed():
+    sim, _testbed, traffic = build()
+    sizes = [traffic._draw_file_size() for _ in range(4000)]
+    assert min(sizes) >= traffic.min_file_bytes
+    assert max(sizes) <= traffic.max_file_bytes
+    mean = sum(sizes) / len(sizes)
+    # Pareto(1.2) mean is ~6x the minimum even after truncation.
+    assert mean > 3 * traffic.min_file_bytes
+    # The tail matters: the top percentile dominates the median.
+    sizes.sort()
+    assert sizes[-40] > 5 * sizes[len(sizes) // 2]
+
+
+def test_surges_occur_and_create_loss():
+    sim, testbed, traffic = build(seed=5, surge_interval_mean=5.0)
+    sim.run(until=60.0)
+    assert traffic.surges >= 5
+    assert len(episodes_from_monitor(testbed.monitor)) >= 2
+
+
+def test_no_surges_when_disabled():
+    sim, _testbed, traffic = build(surge_interval_mean=0.0)
+    sim.run(until=30.0)
+    assert traffic.surges == 0
+
+
+def test_stop_halts_new_work():
+    sim, _testbed, traffic = build()
+    sim.run(until=10.0)
+    traffic.stop()
+    sessions = traffic.sessions_started
+    transfers = traffic.transfers_started
+    sim.run(until=30.0)
+    assert traffic.sessions_started == sessions
+    assert traffic.transfers_started == transfers
+
+
+def test_mean_offered_load_reported():
+    sim, _testbed, traffic = build()
+    sim.run(until=30.0)
+    assert traffic.mean_offered_load_bps > 0
+
+
+def test_active_flow_accounting_balances():
+    sim, _testbed, traffic = build()
+    sim.run(until=20.0)
+    traffic.stop()
+    sim.run(until=120.0)  # let everything drain
+    assert traffic.active_flows == traffic.transfers_started - traffic.transfers_completed
+    assert traffic.active_flows == 0
+
+
+def test_parameter_validation():
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim)
+    with pytest.raises(ConfigurationError):
+        HarpoonWebTraffic(sim, [], testbed.traffic_receivers)
+    with pytest.raises(ConfigurationError):
+        HarpoonWebTraffic(
+            sim, testbed.traffic_senders, testbed.traffic_receivers, session_rate=0
+        )
+    with pytest.raises(ConfigurationError):
+        HarpoonWebTraffic(
+            sim, testbed.traffic_senders, testbed.traffic_receivers, pareto_shape=1.0
+        )
+
+
+def test_deterministic_given_seed():
+    sim_a, _t, traffic_a = build(seed=42)
+    sim_a.run(until=20.0)
+    sim_b, _t, traffic_b = build(seed=42)
+    sim_b.run(until=20.0)
+    assert traffic_a.transfers_started == traffic_b.transfers_started
+    assert traffic_a.bytes_offered == traffic_b.bytes_offered

@@ -1,0 +1,147 @@
+"""Cross-module integration tests reproducing the paper's headline shapes.
+
+Each test runs the full pipeline — testbed, traffic, tool, ground truth —
+at a scale big enough (120-300 simulated seconds) for the qualitative
+results to be statistically stable, while staying fast enough for CI.
+"""
+
+import math
+
+import pytest
+
+from repro.core.clock import Clock, estimate_skew
+from repro.core.jitter import SpikeJitter
+from repro.experiments.runner import run_badabing, run_zing
+
+CBR_KWARGS = {"episode_durations": (0.068,), "mean_spacing": 5.0}
+
+
+@pytest.fixture(scope="module")
+def badabing_cbr():
+    return run_badabing(
+        "episodic_cbr",
+        p=0.5,
+        n_slots=36_000,  # 180 s
+        seed=21,
+        scenario_kwargs=CBR_KWARGS,
+        warmup=5.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def zing_cbr():
+    return run_zing(
+        "episodic_cbr",
+        mean_interval=0.05,
+        packet_size=256,
+        duration=180.0,
+        seed=21,
+        scenario_kwargs=CBR_KWARGS,
+        warmup=5.0,
+    )
+
+
+def test_badabing_frequency_accuracy(badabing_cbr):
+    result, truth = badabing_cbr
+    assert truth.n_episodes >= 15
+    assert result.frequency == pytest.approx(truth.frequency, rel=0.6)
+
+
+def test_badabing_duration_accuracy(badabing_cbr):
+    result, truth = badabing_cbr
+    assert result.estimate.duration_valid
+    # The paper reports durations within ~25% at p >= 0.3 over 900 s; on a
+    # 180 s run allow 50%.
+    assert result.duration_seconds == pytest.approx(truth.duration_mean, rel=0.5)
+
+
+def test_badabing_validation_passes_on_clean_run(badabing_cbr):
+    result, _truth = badabing_cbr
+    assert result.validation.violations == 0
+    assert result.validation.is_acceptable()
+
+
+def test_zing_underestimates_frequency(zing_cbr):
+    result, truth = zing_cbr
+    assert truth.n_episodes >= 15
+    assert result.frequency < 0.7 * truth.frequency
+
+
+def test_zing_cannot_measure_duration(zing_cbr):
+    result, truth = zing_cbr
+    assert result.duration_mean < 0.5 * truth.duration_mean
+
+
+def test_badabing_beats_zing_on_same_traffic(badabing_cbr, zing_cbr):
+    bb_result, bb_truth = badabing_cbr
+    zing_result, zing_truth = zing_cbr
+    bb_rel_error = abs(bb_result.frequency - bb_truth.frequency) / bb_truth.frequency
+    zing_rel_error = (
+        abs(zing_result.frequency - zing_truth.frequency) / zing_truth.frequency
+    )
+    assert bb_rel_error < zing_rel_error
+
+
+def test_improved_algorithm_runs_end_to_end():
+    result, truth = run_badabing(
+        "episodic_cbr",
+        p=0.5,
+        n_slots=24_000,
+        seed=23,
+        improved=True,
+        scenario_kwargs=CBR_KWARGS,
+        warmup=5.0,
+    )
+    assert result.estimate.improved
+    assert any(outcome.is_extended for outcome in result.outcomes)
+    if result.estimate.duration_valid:
+        assert result.duration_seconds == pytest.approx(truth.duration_mean, rel=1.0)
+    assert result.frequency == pytest.approx(truth.frequency, rel=0.8)
+
+
+def test_probe_jitter_degrades_but_does_not_break_estimates():
+    clean, truth_clean = run_badabing(
+        "episodic_cbr", p=0.5, n_slots=24_000, seed=25,
+        scenario_kwargs=CBR_KWARGS, warmup=5.0,
+    )
+    jittered, truth_jitter = run_badabing(
+        "episodic_cbr", p=0.5, n_slots=24_000, seed=25,
+        scenario_kwargs=CBR_KWARGS, warmup=5.0,
+        jitter=SpikeJitter(base_sigma=0.0005, spike_prob=0.02, spike_delay=0.02),
+    )
+    # Jitter shifts probes off slot boundaries but the estimator still
+    # lands in the right decade.
+    assert jittered.frequency == pytest.approx(truth_jitter.frequency, rel=1.0)
+    assert clean.frequency > 0 and jittered.frequency > 0
+
+
+def test_clock_skew_inflates_owds_and_is_removable():
+    keep = {}
+    result, _truth = run_badabing(
+        "episodic_cbr", p=0.3, n_slots=24_000, seed=27,
+        scenario_kwargs=CBR_KWARGS, warmup=5.0,
+        receiver_clock=Clock(offset=0.0, skew=5e-5),
+        keep=keep,
+    )
+    points = [
+        (probe.send_time, owd)
+        for probe in result.probes
+        for owd in probe.owds[:1]
+    ]
+    _intercept, slope = estimate_skew(points)
+    assert slope == pytest.approx(5e-5, rel=0.15)
+
+
+def test_frequency_estimates_scale_with_true_frequency():
+    sparse = run_badabing(
+        "episodic_cbr", p=0.5, n_slots=24_000, seed=29,
+        scenario_kwargs={"episode_durations": (0.068,), "mean_spacing": 10.0},
+        warmup=5.0,
+    )
+    dense = run_badabing(
+        "episodic_cbr", p=0.5, n_slots=24_000, seed=29,
+        scenario_kwargs={"episode_durations": (0.068,), "mean_spacing": 2.0},
+        warmup=5.0,
+    )
+    assert dense[1].frequency > sparse[1].frequency
+    assert dense[0].frequency > sparse[0].frequency

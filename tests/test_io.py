@@ -1,0 +1,115 @@
+"""Tests for measurement trace persistence and offline re-analysis."""
+
+import json
+
+import pytest
+
+from repro.config import BadabingConfig, MarkingConfig
+from repro.core.badabing import BadabingTool
+from repro.errors import ConfigurationError
+from repro.experiments.runner import DRAIN_TIME, apply_scenario, build_testbed
+from repro.io import Measurement, load_measurement, reestimate, save_measurement
+from repro.io.traces import measurement_from_tool
+
+
+@pytest.fixture(scope="module")
+def finished_tool():
+    sim, testbed = build_testbed(seed=9)
+    apply_scenario(
+        sim, testbed, "episodic_cbr",
+        episode_durations=(0.068,), mean_spacing=3.0,
+    )
+    config = BadabingConfig(p=0.5, n_slots=12_000)
+    tool = BadabingTool(
+        sim, testbed.probe_sender, testbed.probe_receiver, config, start=2.0
+    )
+    sim.run(until=tool.end_time + DRAIN_TIME)
+    return tool
+
+
+def test_round_trip_preserves_everything(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool, metadata={"scenario": "cbr"})
+    loaded = load_measurement(path)
+    original = measurement_from_tool(finished_tool)
+    assert loaded.slot_width == original.slot_width
+    assert loaded.n_slots == original.n_slots
+    assert loaded.p == original.p
+    assert loaded.experiments == original.experiments
+    assert loaded.probes == original.probes
+    assert loaded.metadata["scenario"] == "cbr"
+
+
+def test_offline_reestimate_matches_live_result(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    live = finished_tool.result()
+    offline = reestimate(
+        load_measurement(path), marking=finished_tool.config.marking
+    )
+    assert offline.frequency == live.frequency
+    assert offline.outcomes == live.outcomes
+    assert offline.estimate.counts == live.estimate.counts
+
+
+def test_offline_remarking_changes_results(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    measurement = load_measurement(path)
+    strict = reestimate(measurement, marking=MarkingConfig(alpha=0.02, tau=0.005))
+    loose = reestimate(measurement, marking=MarkingConfig(alpha=0.3, tau=0.120))
+    assert loose.frequency >= strict.frequency
+
+
+def test_header_is_first_line_json(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    with open(path) as handle:
+        header = json.loads(handle.readline())
+    assert header["type"] == "badabing-trace"
+    assert header["version"] == 1
+    assert header["n_slots"] == 12_000
+
+
+def test_load_rejects_wrong_type(tmp_path):
+    path = tmp_path / "bogus.jsonl"
+    path.write_text('{"type": "something-else"}\n')
+    with pytest.raises(ConfigurationError):
+        load_measurement(path)
+
+
+def test_load_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ConfigurationError):
+        load_measurement(path)
+
+
+def test_load_rejects_future_version(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text('{"type": "badabing-trace", "version": 99}\n')
+    with pytest.raises(ConfigurationError):
+        load_measurement(path)
+
+
+def test_probe_size_metadata_drives_load_accounting(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool, metadata={"probe_size": 1200})
+    doubled = reestimate(load_measurement(path))
+    save_measurement(path, finished_tool, metadata={"probe_size": 600})
+    nominal = reestimate(load_measurement(path))
+    assert doubled.probe_load_bps == pytest.approx(2 * nominal.probe_load_bps)
+
+
+def test_measurement_outcomes_skip_unmarked_slots(finished_tool):
+    measurement = measurement_from_tool(finished_tool)
+    # Provide states for nothing: no outcomes can be assembled.
+    assert measurement.outcomes({}) == []
+
+
+def test_save_measurement_object_directly(finished_tool, tmp_path):
+    measurement = measurement_from_tool(finished_tool, metadata={"a": 1})
+    path = tmp_path / "direct.jsonl"
+    save_measurement(path, measurement, metadata={"b": 2})
+    loaded = load_measurement(path)
+    assert loaded.metadata == {"a": 1, "b": 2}

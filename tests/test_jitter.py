@@ -1,0 +1,59 @@
+"""Tests for probe launch jitter models."""
+
+import random
+
+import pytest
+
+from repro.core.jitter import GaussianJitter, NoJitter, SpikeJitter, UniformJitter
+from repro.errors import ConfigurationError
+
+
+def samples(model, n=5000, seed=1):
+    rng = random.Random(seed)
+    return [model.sample(rng) for _ in range(n)]
+
+
+def test_no_jitter_is_zero():
+    assert all(value == 0.0 for value in samples(NoJitter(), 10))
+
+
+def test_uniform_jitter_bounds_and_mean():
+    values = samples(UniformJitter(0.004))
+    assert all(0.0 <= value <= 0.004 for value in values)
+    assert sum(values) / len(values) == pytest.approx(0.002, rel=0.1)
+
+
+def test_gaussian_jitter_nonnegative():
+    values = samples(GaussianJitter(0.001))
+    assert all(value >= 0.0 for value in values)
+    assert max(values) > 0.0
+
+
+def test_gaussian_sigma_zero_is_degenerate():
+    assert all(value == 0.0 for value in samples(GaussianJitter(0.0), 10))
+
+
+def test_spike_jitter_mixes_base_and_spikes():
+    model = SpikeJitter(base_sigma=0.0001, spike_prob=0.1, spike_delay=0.05)
+    values = samples(model, n=10_000)
+    spikes = sum(1 for value in values if value == 0.05)
+    assert spikes / len(values) == pytest.approx(0.1, abs=0.02)
+    assert all(value >= 0.0 for value in values)
+
+
+def test_spike_prob_extremes():
+    always = SpikeJitter(0.0, 1.0, 0.02)
+    assert all(value == 0.02 for value in samples(always, 10))
+    never = SpikeJitter(0.0, 0.0, 0.02)
+    assert all(value == 0.0 for value in samples(never, 10))
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        UniformJitter(-0.001)
+    with pytest.raises(ConfigurationError):
+        GaussianJitter(-1.0)
+    with pytest.raises(ConfigurationError):
+        SpikeJitter(0.001, 1.5, 0.01)
+    with pytest.raises(ConfigurationError):
+        SpikeJitter(-0.001, 0.5, 0.01)

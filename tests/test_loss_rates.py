@@ -1,0 +1,83 @@
+"""Tests for §3's router-centric vs end-to-end loss rates.
+
+The paper's central observation (end of §3): "during a period where the
+router-centric loss rate is non-zero, there may be flows that do not lose
+any packets and therefore have end-to-end loss rates of zero." This is
+exactly why self-loss probing (ZING/PING) underestimates — and the
+simulator reproduces it directly.
+"""
+
+import pytest
+
+from repro.core.estimators import LossEstimate
+from repro.errors import ConfigurationError, EstimationError
+from repro.net.monitor import QueueMonitor
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.net.simulator import Simulator
+from repro.net.topology import DumbbellTestbed
+from repro.traffic.tcp import start_tcp_flow
+from repro.config import TestbedConfig
+
+
+def test_per_flow_counters_require_opt_in():
+    sim = Simulator()
+    monitor = QueueMonitor(sim)
+    with pytest.raises(ConfigurationError):
+        monitor.end_to_end_loss_rates()
+
+
+def test_per_flow_rates_computed():
+    sim = Simulator()
+    queue = DropTailQueue(1500)
+    monitor = QueueMonitor(sim, track_flows=True)
+    queue.attach(monitor)
+    queue.offer(0.0, Packet("a", "b", 1500, flow="f1"))  # accepted
+    queue.offer(0.1, Packet("a", "b", 1500, flow="f1"))  # dropped
+    queue.offer(0.2, Packet("c", "b", 1500, flow="f2"))  # dropped (full)
+    rates = monitor.end_to_end_loss_rates()
+    assert rates["f1"] == pytest.approx(0.5)
+    assert rates["f2"] == 1.0  # never got a packet through
+
+
+def test_some_flows_lose_nothing_during_episodes():
+    # Multiple TCP flows through a congested bottleneck: the router-centric
+    # loss rate is positive, yet typically at least one flow exits a run
+    # without a single drop, and flow loss rates differ from the aggregate.
+    sim = Simulator(seed=5)
+    testbed = DumbbellTestbed(sim, TestbedConfig(buffer_time=0.03))
+    testbed.monitor.track_flows = True
+    for i in range(4):
+        start_tcp_flow(
+            sim,
+            testbed.traffic_senders[i % 4],
+            testbed.traffic_receivers[i % 4],
+            total_segments=None if i else 2000,
+        )
+    sim.run(until=30.0)
+    monitor = testbed.monitor
+    assert monitor.loss_rate > 0
+    rates = monitor.end_to_end_loss_rates()
+    data_rates = {f: r for f, r in rates.items() if f.startswith("tcp:")}
+    assert len(data_rates) >= 4
+    # End-to-end rates are heterogeneous around the router-centric rate.
+    assert min(data_rates.values()) < monitor.loss_rate < max(data_rates.values()) + 1e-9
+
+
+def test_estimate_episode_rate_and_loss_rate():
+    estimate = LossEstimate(
+        frequency=0.02, duration_slots=4.0, n_experiments=100, counts={}
+    )
+    assert estimate.episode_rate_per_slot == pytest.approx(0.005)
+    assert estimate.loss_rate(0.5) == pytest.approx(0.01)
+    with pytest.raises(EstimationError):
+        estimate.loss_rate(1.5)
+
+
+def test_episode_rate_nan_when_duration_invalid():
+    import math
+
+    estimate = LossEstimate(
+        frequency=0.02, duration_slots=float("nan"), n_experiments=10, counts={}
+    )
+    assert math.isnan(estimate.episode_rate_per_slot)

@@ -1,0 +1,56 @@
+"""Tests for the virtual observation channel (§5 assumptions)."""
+
+import random
+
+import pytest
+
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import Experiment
+from repro.errors import ConfigurationError
+from repro.synthetic.observer import VirtualObserver
+
+
+def test_clear_windows_always_reported_faithfully():
+    observer = VirtualObserver(p1=0.01, p2=0.01, rng=random.Random(1))
+    truth = ExperimentOutcome(0, (0, 0))
+    assert all(observer.observe_outcome(truth) == truth for _ in range(100))
+
+
+def test_miss_collapses_to_zeros_never_flips():
+    observer = VirtualObserver(p1=0.5, p2=0.5, rng=random.Random(2))
+    truth = ExperimentOutcome(0, (0, 1, 1))
+    seen = {observer.observe_outcome(truth).as_string for _ in range(500)}
+    assert seen == {"011", "000"}
+
+
+def test_p1_governs_single_one_states():
+    observer = VirtualObserver(p1=0.7, p2=0.1, rng=random.Random(3))
+    truth = ExperimentOutcome(0, (0, 1))
+    kept = sum(
+        observer.observe_outcome(truth).as_string == "01" for _ in range(10_000)
+    )
+    assert kept / 10_000 == pytest.approx(0.7, abs=0.02)
+
+
+def test_p2_governs_double_one_states():
+    observer = VirtualObserver(p1=0.1, p2=0.6, rng=random.Random(4))
+    truth = ExperimentOutcome(0, (1, 1))
+    kept = sum(
+        observer.observe_outcome(truth).as_string == "11" for _ in range(10_000)
+    )
+    assert kept / 10_000 == pytest.approx(0.6, abs=0.02)
+
+
+def test_observe_full_sequence():
+    observer = VirtualObserver(p1=1.0, p2=1.0, rng=random.Random(5))
+    experiments = [Experiment(0, 2), Experiment(3, 3)]
+    states = [True, False, False, True, True, False]
+    outcomes = observer.observe(experiments, states)
+    assert [o.as_string for o in outcomes] == ["10", "110"]
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        VirtualObserver(p1=0.0, p2=0.5, rng=random.Random(6))
+    with pytest.raises(ConfigurationError):
+        VirtualObserver(p1=0.5, p2=1.5, rng=random.Random(6))

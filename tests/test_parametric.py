@@ -1,0 +1,109 @@
+"""Tests for the parametric (Gilbert/Markov) estimator."""
+
+import random
+
+import pytest
+
+from repro.core.parametric import estimate_gilbert, pair_counts
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import GeometricSchedule, outcomes_from_true_states
+from repro.errors import EstimationError
+from repro.synthetic.renewal import AlternatingRenewalProcess, GeometricSlots
+
+
+def outcome(bits):
+    return ExperimentOutcome(0, tuple(bits))
+
+
+def test_pair_counts_uses_both_pairs_of_triples():
+    counts = pair_counts([outcome((0, 1)), outcome((0, 1, 1))])
+    assert counts == {"00": 0, "01": 2, "10": 0, "11": 1}
+
+
+def test_mle_formulas():
+    outcomes = (
+        [outcome((1, 0))] * 10      # n10 = 10
+        + [outcome((1, 1))] * 30    # n11 = 30
+        + [outcome((0, 1))] * 10    # n01 = 10
+        + [outcome((0, 0))] * 90    # n00 = 90
+    )
+    fit = estimate_gilbert(outcomes)
+    assert fit.g == pytest.approx(10 / 40)
+    assert fit.b == pytest.approx(10 / 100)
+    assert fit.duration_slots == pytest.approx(4.0)
+    assert fit.frequency == pytest.approx(0.1 / (0.1 + 0.25))
+
+
+def test_recovers_truth_on_markov_process():
+    # Geometric(5) episodes, geometric(45) gaps: a true Gilbert process
+    # with g = 0.2, b = 1/45, F = 0.1, D = 5.
+    rng = random.Random(3)
+    process = AlternatingRenewalProcess(GeometricSlots(5), GeometricSlots(45), rng)
+    states = process.generate(400_000)
+    schedule = GeometricSchedule(0.3, len(states), random.Random(5))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    fit = estimate_gilbert(outcomes)
+    assert fit.g == pytest.approx(0.2, rel=0.05)
+    assert fit.duration_slots == pytest.approx(5.0, rel=0.05)
+    assert fit.frequency == pytest.approx(0.1, rel=0.05)
+
+
+def test_confidence_interval_covers_truth_on_markov_process():
+    rng = random.Random(7)
+    process = AlternatingRenewalProcess(GeometricSlots(4), GeometricSlots(36), rng)
+    states = process.generate(150_000)
+    schedule = GeometricSchedule(0.3, len(states), random.Random(9))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    fit = estimate_gilbert(outcomes, confidence=0.99)
+    low_d, high_d = fit.duration_interval()
+    assert low_d <= 4.0 <= high_d
+    low_f, high_f = fit.frequency_interval()
+    assert low_f <= 0.1 <= high_f
+
+
+def test_interval_shrinks_with_more_data():
+    rng = random.Random(11)
+    process = AlternatingRenewalProcess(GeometricSlots(4), GeometricSlots(36), rng)
+    states = process.generate(400_000)
+    small_schedule = GeometricSchedule(0.3, 40_000, random.Random(13))
+    large_schedule = GeometricSchedule(0.3, 400_000, random.Random(13))
+    small_fit = estimate_gilbert(
+        outcomes_from_true_states(small_schedule.experiments, states[:40_000])
+    )
+    large_fit = estimate_gilbert(
+        outcomes_from_true_states(large_schedule.experiments, states)
+    )
+    assert large_fit.duration_halfwidth < small_fit.duration_halfwidth
+    assert large_fit.frequency_halfwidth < small_fit.frequency_halfwidth
+
+
+def test_agrees_with_basic_estimator_under_symmetry():
+    # When n01 == n10 the basic D-hat equals (n10 + n11)/n10 == 1/g-hat.
+    from repro.core.estimators import estimate_from_outcomes
+
+    outcomes = (
+        [outcome((0, 1))] * 20
+        + [outcome((1, 0))] * 20
+        + [outcome((1, 1))] * 60
+        + [outcome((0, 0))] * 300
+    )
+    basic = estimate_from_outcomes(outcomes)
+    fit = estimate_gilbert(outcomes)
+    assert fit.duration_slots == pytest.approx(basic.duration_slots)
+
+
+def test_degenerate_inputs_raise():
+    with pytest.raises(EstimationError):
+        estimate_gilbert([outcome((0, 0))] * 10)  # g unidentifiable
+    with pytest.raises(EstimationError):
+        estimate_gilbert([outcome((1, 1))] * 10)  # never ends
+    with pytest.raises(EstimationError):
+        estimate_gilbert(
+            [outcome((1, 0))] * 5 + [outcome((0, 1))] * 5, confidence=0.7
+        )
+
+
+def test_duration_seconds_scaling():
+    outcomes = [outcome((1, 0))] * 5 + [outcome((0, 1))] * 5 + [outcome((0, 0))] * 5
+    fit = estimate_gilbert(outcomes)
+    assert fit.duration_seconds(0.005) == pytest.approx(fit.duration_slots * 0.005)

@@ -1,0 +1,50 @@
+"""Tests for the fixed-interval PING-like baseline."""
+
+import pytest
+
+from repro.core.pinglike import PingLikeTool
+from repro.experiments.runner import DRAIN_TIME, build_testbed
+
+
+def test_intervals_are_constant():
+    sim, testbed = build_testbed()
+    tool = PingLikeTool(
+        sim, testbed.probe_sender, testbed.probe_receiver,
+        interval=0.01, duration=5.0, start=1.0,
+    )
+    sim.run(until=6.0 + DRAIN_TIME)
+    times = sorted(tool.sender.sent.values())
+    gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+    assert gaps == {0.01}
+
+
+def test_rate_matches_interval():
+    sim, testbed = build_testbed()
+    tool = PingLikeTool(
+        sim, testbed.probe_sender, testbed.probe_receiver,
+        interval=0.02, duration=10.0, start=1.0,
+    )
+    sim.run(until=11.0 + DRAIN_TIME)
+    assert tool.result().n_sent == pytest.approx(500, abs=2)
+
+
+def test_flight_trains_supported():
+    sim, testbed = build_testbed()
+    tool = PingLikeTool(
+        sim, testbed.probe_sender, testbed.probe_receiver,
+        interval=0.05, duration=2.0, start=1.0, flight=5,
+    )
+    sim.run(until=3.0 + DRAIN_TIME)
+    assert all(len(flight) == 5 for flight in tool.sender.flights if flight)
+
+
+def test_reporting_matches_zing_semantics():
+    sim, testbed = build_testbed()
+    tool = PingLikeTool(
+        sim, testbed.probe_sender, testbed.probe_receiver,
+        interval=0.01, duration=3.0, start=1.0,
+    )
+    sim.run(until=4.0 + DRAIN_TIME)
+    result = tool.result()
+    assert result.frequency == 0.0
+    assert result.n_lost == 0

@@ -1,0 +1,98 @@
+"""Tests for §7 measurement planning."""
+
+import math
+
+import pytest
+
+from repro.config import ProbeConfig
+from repro.core.planning import (
+    MeasurementPlan,
+    plan_measurement,
+    required_p,
+    required_slots,
+)
+from repro.errors import ConfigurationError
+
+
+def test_required_slots_formula():
+    # N = 1/(p L target^2): p=0.1, L=0.001, target=0.25 -> 160,000.
+    assert required_slots(0.1, 0.001, 0.25) == 160_000
+
+
+def test_required_slots_paper_example():
+    # §7's example: 12 loss events/minute at 5 ms slots -> L = 0.001.
+    L = 12 / (60 * 200)
+    assert L == pytest.approx(0.001)
+    n = required_slots(0.3, L, 0.25)
+    assert n == math.ceil(1 / (0.3 * 0.001 * 0.0625))
+
+
+def test_required_p_inverts_required_slots():
+    L, target = 0.002, 0.3
+    n = required_slots(0.2, L, target)
+    p = required_p(n, L, target)
+    assert p == pytest.approx(0.2, rel=0.01)
+
+
+def test_required_p_unreachable_target():
+    with pytest.raises(ConfigurationError):
+        required_p(1000, 0.0001, 0.1)  # would need p >> 1
+
+
+def test_plan_with_fixed_p():
+    plan = plan_measurement(0.001, 0.25, p=0.1)
+    assert plan.n_slots == 160_000
+    assert plan.predicted_duration_stddev <= 0.25 + 1e-9
+    assert plan.duration_seconds == pytest.approx(800.0)
+
+
+def test_plan_with_fixed_n():
+    plan = plan_measurement(0.001, 0.25, n_slots=320_000)
+    assert plan.p == pytest.approx(0.05)
+    assert plan.predicted_duration_stddev == pytest.approx(0.25)
+
+
+def test_plan_requires_exactly_one_free_parameter():
+    with pytest.raises(ConfigurationError):
+        plan_measurement(0.001, 0.25)
+    with pytest.raises(ConfigurationError):
+        plan_measurement(0.001, 0.25, p=0.1, n_slots=1000)
+
+
+def test_probe_load_uses_coverage_model():
+    plan = plan_measurement(0.001, 0.25, p=0.3, probe=ProbeConfig())
+    coverage = 1 - 0.7 ** 2
+    expected = coverage * 3 * 600 * 8 / 0.005
+    assert plan.probe_load_bps == pytest.approx(expected)
+
+
+def test_higher_p_means_shorter_measurement():
+    low = plan_measurement(0.001, 0.25, p=0.1)
+    high = plan_measurement(0.001, 0.25, p=0.9)
+    assert high.n_slots < low.n_slots
+    assert high.probe_load_bps > low.probe_load_bps
+
+
+def test_describe_is_humane():
+    plan = plan_measurement(0.001, 0.25, p=0.1)
+    text = plan.describe()
+    assert "p=0.1" in text
+    assert "kb/s" in text
+
+
+def test_validation_of_inputs():
+    with pytest.raises(ConfigurationError):
+        required_slots(0.0, 0.001, 0.25)
+    with pytest.raises(ConfigurationError):
+        required_slots(0.1, 0.0, 0.25)
+    with pytest.raises(ConfigurationError):
+        required_slots(0.1, 0.001, 0.0)
+    with pytest.raises(ConfigurationError):
+        required_p(1, 0.001, 0.25)
+
+
+def test_plan_is_value_object():
+    a = plan_measurement(0.001, 0.25, p=0.1)
+    b = plan_measurement(0.001, 0.25, p=0.1)
+    assert a == b
+    assert isinstance(a, MeasurementPlan)

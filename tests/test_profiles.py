@@ -1,0 +1,49 @@
+"""Tests for run-length profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.profiles import (
+    FAST,
+    FULL,
+    PROFILES,
+    SLOT,
+    SMOKE,
+    Profile,
+    active_profile,
+)
+
+
+def test_full_profile_matches_paper():
+    assert FULL.tool_duration == 900.0
+    assert FULL.n_slots == 180_000
+    assert FULL.n_slots_large == 720_000
+    assert FULL.badabing_duration == pytest.approx(900.0)
+
+
+def test_fast_profile_is_shorter_but_proportional():
+    assert FAST.n_slots < FULL.n_slots
+    assert FAST.badabing_duration == pytest.approx(FAST.n_slots * SLOT)
+
+
+def test_registry_contains_all():
+    assert PROFILES == {"fast": FAST, "full": FULL, "smoke": SMOKE}
+
+
+def test_active_profile_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    assert active_profile() is FAST
+    monkeypatch.setenv("REPRO_PROFILE", "full")
+    assert active_profile() is FULL
+    monkeypatch.setenv("REPRO_PROFILE", "SMOKE")
+    assert active_profile() is SMOKE
+    monkeypatch.setenv("REPRO_PROFILE", "nope")
+    with pytest.raises(ConfigurationError):
+        active_profile()
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        Profile("bad", tool_duration=0, n_slots=10, n_slots_large=20, train_duration=1)
+    with pytest.raises(ConfigurationError):
+        Profile("bad", tool_duration=1, n_slots=100, n_slots_large=50, train_duration=1)

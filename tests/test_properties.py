@@ -1,0 +1,300 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.episodes import extract_episodes
+from repro.analysis.slots import congested_slot_set, true_frequency
+from repro.analysis.stats import mean_std
+from repro.core.estimators import estimate_from_outcomes
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import GeometricSchedule, outcomes_from_true_states
+from repro.core.validation import validate_outcomes
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.synthetic.renewal import AlternatingRenewalProcess, GeometricSlots
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+bits2 = st.tuples(st.integers(0, 1), st.integers(0, 1))
+bits3 = st.tuples(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+outcome_strategy = st.builds(
+    ExperimentOutcome, st.integers(0, 10_000), st.one_of(bits2, bits3)
+)
+
+sorted_times = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=1, max_size=60
+).map(sorted)
+
+
+# ---------------------------------------------------------------------------
+# Episode extraction invariants
+# ---------------------------------------------------------------------------
+
+@given(drops=sorted_times, max_gap=st.floats(min_value=0.01, max_value=10.0))
+def test_episodes_partition_drops(drops, max_gap):
+    episodes = extract_episodes(drops, max_gap=max_gap)
+    # Every drop belongs to exactly one episode.
+    assert sum(episode.drops for episode in episodes) == len(drops)
+    # Episodes are chronological and disjoint.
+    for earlier, later in zip(episodes, episodes[1:]):
+        assert earlier.end < later.start
+    # Each episode's span is covered by drops no farther than max_gap apart.
+    for episode in episodes:
+        assert episode.start <= episode.end
+
+
+@given(drops=sorted_times)
+def test_episode_durations_bounded_by_span(drops):
+    episodes = extract_episodes(drops, max_gap=1.0)
+    for episode in episodes:
+        assert 0.0 <= episode.duration <= drops[-1] - drops[0] + 1e-9
+
+
+@given(
+    drops=sorted_times,
+    crossings=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), max_size=30
+    ).map(sorted),
+)
+def test_crossings_only_increase_episode_count(drops, crossings):
+    without = extract_episodes(drops, max_gap=5.0)
+    with_crossings = extract_episodes(drops, crossings, max_gap=5.0)
+    assert len(with_crossings) >= len(without)
+
+
+# ---------------------------------------------------------------------------
+# Slot discretization invariants
+# ---------------------------------------------------------------------------
+
+@given(drops=sorted_times, n_slots=st.integers(10, 5000))
+def test_frequency_bounded(drops, n_slots):
+    episodes = extract_episodes(drops, max_gap=0.5)
+    frequency = true_frequency(episodes, 0.005, n_slots)
+    assert 0.0 <= frequency <= 1.0
+
+
+@given(drops=sorted_times)
+def test_congested_slots_within_window(drops):
+    episodes = extract_episodes(drops, max_gap=0.5)
+    slots = congested_slot_set(episodes, 0.005, 100)
+    assert all(0 <= slot < 100 for slot in slots)
+
+
+# ---------------------------------------------------------------------------
+# Estimator invariants
+# ---------------------------------------------------------------------------
+
+@given(outcomes=st.lists(outcome_strategy, min_size=1, max_size=300))
+def test_frequency_always_in_unit_interval(outcomes):
+    estimate = estimate_from_outcomes(outcomes)
+    assert 0.0 <= estimate.frequency <= 1.0
+    assert estimate.n_experiments == len(outcomes)
+
+
+@given(outcomes=st.lists(outcome_strategy, min_size=1, max_size=300))
+def test_duration_at_least_one_slot_when_valid_basic(outcomes):
+    estimate = estimate_from_outcomes(outcomes, improved=False)
+    if estimate.duration_valid:
+        # R >= S always, so D = 2(R/S - 1) + 1 >= 1 slot.
+        assert estimate.duration_slots >= 1.0
+
+
+@given(outcomes=st.lists(outcome_strategy, min_size=1, max_size=300))
+def test_counts_are_consistent(outcomes):
+    estimate = estimate_from_outcomes(outcomes)
+    counts = estimate.counts
+    assert counts["S"] <= counts["R"]
+    assert counts["S"] == counts["01"] + counts["10"]
+    assert counts["R"] == counts["S"] + counts["11"]
+    assert counts["U"] == counts["011"] + counts["110"]
+    assert counts["V"] == counts["001"] + counts["100"]
+
+
+@given(outcomes=st.lists(outcome_strategy, min_size=1, max_size=300))
+def test_validation_counts_match_estimator_counts(outcomes):
+    estimate = estimate_from_outcomes(outcomes)
+    validation = validate_outcomes(outcomes)
+    assert validation.n01 == estimate.counts["01"]
+    assert validation.n10 == estimate.counts["10"]
+    assert 0.0 <= validation.transition_asymmetry <= 1.0
+    assert validation.violations == estimate.counts["010"] + estimate.counts["101"]
+
+
+@given(
+    p=st.floats(min_value=0.05, max_value=1.0),
+    n_slots=st.integers(10, 3000),
+    seed=st.integers(0, 2**30),
+)
+def test_schedule_invariants(p, n_slots, seed):
+    schedule = GeometricSchedule(p, n_slots, random.Random(seed))
+    assert schedule.n_probes <= n_slots
+    assert schedule.n_experiments <= n_slots
+    covered = set()
+    for experiment in schedule.experiments:
+        assert 0 <= experiment.start_slot
+        assert experiment.start_slot + experiment.length <= n_slots
+        covered.update(experiment.slots)
+    assert covered == set(schedule.probe_slots)
+
+
+@given(
+    seed=st.integers(0, 2**30),
+    mean_on=st.floats(min_value=1.0, max_value=10.0),
+    mean_off=st.floats(min_value=1.0, max_value=50.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_perfect_observation_frequency_matches_truth(seed, mean_on, mean_off):
+    rng = random.Random(seed)
+    process = AlternatingRenewalProcess(
+        GeometricSlots(mean_on), GeometricSlots(mean_off), rng
+    )
+    states = process.generate(30_000)
+    true_f, _d = AlternatingRenewalProcess.truth(states)
+    schedule = GeometricSchedule(0.5, len(states), random.Random(seed + 1))
+    outcomes = outcomes_from_true_states(schedule.experiments, states)
+    if not outcomes:
+        return
+    estimate = estimate_from_outcomes(outcomes)
+    # Unbiasedness within sampling noise: generous 5-sigma-ish band.
+    sigma = math.sqrt(max(true_f * (1 - true_f), 1e-9) / len(outcomes))
+    assert abs(estimate.frequency - true_f) < max(5 * sigma, 0.02)
+
+
+# ---------------------------------------------------------------------------
+# Queue invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(40, 9000), min_size=1, max_size=200),
+    capacity=st.integers(1500, 64_000),
+)
+def test_queue_never_exceeds_capacity_and_conserves_packets(sizes, capacity):
+    queue = DropTailQueue(capacity)
+    accepted = 0
+    for size in sizes:
+        if queue.offer(0.0, Packet("a", "b", size)):
+            accepted += 1
+        assert queue.bytes_queued <= capacity
+    drained = 0
+    while queue.take(1.0) is not None:
+        drained += 1
+    assert drained == accepted
+    assert queue.stats.dropped_packets == len(sizes) - accepted
+    assert queue.bytes_queued == 0
+
+
+@given(values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=100))
+def test_mean_std_invariants(values):
+    mean, std = mean_std(values)
+    assert std >= 0.0
+    if values:
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Marking invariants
+# ---------------------------------------------------------------------------
+
+from repro.config import MarkingConfig
+from repro.core.marking import CongestionMarker
+from repro.core.records import ProbeRecord
+
+probe_strategy = st.builds(
+    lambda slot, lost_mask, base_owd: ProbeRecord(
+        slot=slot,
+        send_time=slot * 0.005,
+        n_packets=3,
+        owds=tuple(
+            base_owd + 0.001 * i for i in range(3) if not (lost_mask >> i) & 1
+        ),
+        owd_before_loss=base_owd if lost_mask else None,
+    ),
+    st.integers(0, 5000),
+    st.integers(0, 7),
+    st.floats(min_value=0.05, max_value=0.16, allow_nan=False),
+)
+
+
+@given(probes=st.lists(probe_strategy, max_size=80, unique_by=lambda p: p.slot))
+@settings(max_examples=50, deadline=None)
+def test_marking_state_exists_for_every_probe(probes):
+    probes = sorted(probes, key=lambda p: p.send_time)
+    result = CongestionMarker(MarkingConfig(alpha=0.1, tau=0.05)).mark(probes)
+    assert set(result.slot_states) == {probe.slot for probe in probes}
+    # Every lost probe is marked congested (default, unfiltered marking).
+    for probe in probes:
+        if probe.lost:
+            assert result.slot_states[probe.slot] is True
+    assert result.marked_by_loss == sum(1 for probe in probes if probe.lost)
+
+
+@given(probes=st.lists(probe_strategy, max_size=80, unique_by=lambda p: p.slot))
+@settings(max_examples=50, deadline=None)
+def test_larger_alpha_marks_superset(probes):
+    probes = sorted(probes, key=lambda p: p.send_time)
+    tight = CongestionMarker(MarkingConfig(alpha=0.05, tau=0.05)).mark(probes)
+    loose = CongestionMarker(MarkingConfig(alpha=0.30, tau=0.05)).mark(probes)
+    for slot, state in tight.slot_states.items():
+        if state:
+            assert loose.slot_states[slot] is True
+
+
+@given(probes=st.lists(probe_strategy, max_size=80, unique_by=lambda p: p.slot))
+@settings(max_examples=50, deadline=None)
+def test_larger_tau_marks_superset(probes):
+    probes = sorted(probes, key=lambda p: p.send_time)
+    near = CongestionMarker(MarkingConfig(alpha=0.1, tau=0.01)).mark(probes)
+    far = CongestionMarker(MarkingConfig(alpha=0.1, tau=0.50)).mark(probes)
+    for slot, state in near.slot_states.items():
+        if state:
+            assert far.slot_states[slot] is True
+
+
+@given(probes=st.lists(probe_strategy, max_size=60, unique_by=lambda p: p.slot))
+@settings(max_examples=30, deadline=None)
+def test_noise_filter_never_adds_marks(probes):
+    probes = sorted(probes, key=lambda p: p.send_time)
+    plain = CongestionMarker(MarkingConfig(alpha=0.1, tau=0.05)).mark(probes)
+    filtered = CongestionMarker(
+        MarkingConfig(alpha=0.1, tau=0.05, filter_uncorrelated_losses=True)
+    ).mark(probes)
+    for slot, state in filtered.slot_states.items():
+        if state:
+            assert plain.slot_states[slot] is True
+
+
+# ---------------------------------------------------------------------------
+# ZING loss-run grouping invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    lost=st.sets(st.integers(1, 200)),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_zing_run_grouping_partitions_losses(lost, seed):
+    from repro.core.zing import ZingTool
+    from repro.experiments.runner import DRAIN_TIME, build_testbed
+
+    sim, testbed = build_testbed(seed=seed % 7 + 1)
+    tool = ZingTool(
+        sim, testbed.probe_sender, testbed.probe_receiver,
+        mean_interval=0.01, duration=2.5, start=0.5,
+    )
+    sim.run(until=3.0 + DRAIN_TIME)
+    for seq in lost:
+        tool.receiver.received.pop(seq, None)
+    result = tool.result()
+    realized_losses = {seq for seq in lost if seq in tool.sender.sent}
+    assert result.n_lost == len(realized_losses)
+    assert sum(count for _a, _b, count in result.loss_runs) == result.n_lost
+    # Runs are maximal: consecutive runs are separated by >= 1 received seq.
+    sent_times = tool.sender.sent
+    for _start, end, _count in result.loss_runs:
+        assert end <= max(sent_times.values())

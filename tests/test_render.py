@@ -1,0 +1,108 @@
+"""Tests for text rendering of tables and figures."""
+
+from repro.experiments.figures import (
+    ProbeImpactSeries,
+    QueueSeries,
+    SensitivitySweep,
+    TrainSensitivity,
+)
+from repro.experiments.render import (
+    render_probe_impact,
+    render_queue_series,
+    render_sensitivity,
+    render_table,
+    render_train_sensitivity,
+    sparkline,
+)
+from repro.experiments.tables import TableResult, TableRow
+
+
+def sample_table():
+    rows = [
+        TableRow("true values", 0.0069, None, 0.068, 0.0, None),
+        TableRow("ZING (10Hz)", 0.0069, 0.0036, 0.068, 0.0, 0.043),
+        TableRow("nan row", 0.0069, 0.001, 0.068, 0.0, float("nan")),
+    ]
+    return TableResult("table2", "Demo title", rows, "fast", notes="demo")
+
+
+def test_render_table_contains_all_rows_and_values():
+    text = render_table(sample_table())
+    assert "TABLE2: Demo title" in text
+    assert "true values" in text
+    assert "0.0036" in text
+    assert "0.068 (0.000)" in text
+    assert "-" in text  # missing measured cells
+    assert "nan" in text
+    assert "note: demo" in text
+
+
+def test_render_table_alignment():
+    lines = render_table(sample_table()).splitlines()
+    data_lines = [line for line in lines if line.startswith(("true", "ZING", "nan"))]
+    # All data rows padded to the same grid.
+    positions = {line.index("0.0069") for line in data_lines}
+    assert len(positions) == 1
+
+
+def test_sparkline_levels():
+    line = sparkline([0.0, 0.5, 1.0], width=3)
+    assert len(line) == 3
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_empty_and_flat():
+    assert sparkline([]) == ""
+    flat = sparkline([0.0, 0.0], width=10)
+    assert set(flat) == {"▁"}
+
+
+def test_sparkline_compresses_long_series():
+    line = sparkline([float(i % 10) for i in range(10_000)], width=50)
+    assert len(line) <= 51
+
+
+def test_render_queue_series():
+    series = QueueSeries("fig5", [0.0, 1.0], [0.0, 0.1], [(0.5, 0.6)])
+    text = render_queue_series(series)
+    assert "fig5" in text
+    assert "100.0 ms" in text
+    assert "1 loss episodes" in text
+
+
+def test_render_train_sensitivity():
+    curve = TrainSensitivity("episodic_cbr", [1, 2], [0.5, 0.1], [100, 90])
+    text = render_train_sensitivity([curve])
+    assert "episodic_cbr" in text
+    assert "0.500" in text
+    assert "( 100 probes)" in text.replace("  ", " ") or "100" in text
+
+
+def test_render_probe_impact():
+    item = ProbeImpactSeries(
+        train_length=3,
+        series=QueueSeries("fig8", [0.0], [0.0], [(1.0, 1.1)]),
+        cross_drop_times=[1.0, 1.05],
+        probe_drop_times=[1.02],
+        probe_load_fraction=0.12,
+    )
+    text = render_probe_impact([item])
+    assert "train= 3" in text
+    assert "12.00%" in text
+
+
+def test_render_sensitivity_orders_values():
+    sweep = SensitivitySweep(
+        "alpha",
+        {0.2: [(0.1, 0.004)], 0.05: [(0.1, 0.001)]},
+        true_frequency=0.0069,
+    )
+    text = render_sensitivity(sweep)
+    assert text.index("alpha=0.05") < text.index("alpha=0.2")
+    assert "0.0069" in text
+
+
+def test_render_sensitivity_tau_in_ms():
+    sweep = SensitivitySweep("tau", {0.08: [(0.1, 0.002)]}, true_frequency=0.005)
+    assert "tau=80ms" in render_sensitivity(sweep)

@@ -1,0 +1,95 @@
+"""Tests for the alternating-renewal congestion substrate."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.synthetic.renewal import (
+    AlternatingRenewalProcess,
+    FixedSlots,
+    GeometricSlots,
+    UniformSlots,
+)
+
+
+def test_fixed_distribution():
+    rng = random.Random(0)
+    assert FixedSlots(4).sample(rng) == 4
+    with pytest.raises(ConfigurationError):
+        FixedSlots(0)
+
+
+def test_geometric_distribution_mean():
+    rng = random.Random(1)
+    dist = GeometricSlots(5.0)
+    samples = [dist.sample(rng) for _ in range(20_000)]
+    assert min(samples) >= 1
+    assert sum(samples) / len(samples) == pytest.approx(5.0, rel=0.05)
+
+
+def test_geometric_mean_one_is_constant():
+    rng = random.Random(2)
+    dist = GeometricSlots(1.0)
+    assert all(dist.sample(rng) == 1 for _ in range(100))
+
+
+def test_geometric_rejects_mean_below_one():
+    with pytest.raises(ConfigurationError):
+        GeometricSlots(0.5)
+
+
+def test_uniform_distribution_bounds():
+    rng = random.Random(3)
+    dist = UniformSlots(2, 6)
+    samples = {dist.sample(rng) for _ in range(1000)}
+    assert samples == {2, 3, 4, 5, 6}
+    with pytest.raises(ConfigurationError):
+        UniformSlots(3, 2)
+
+
+def test_generate_respects_length_and_alternation():
+    process = AlternatingRenewalProcess(
+        FixedSlots(2), FixedSlots(3), random.Random(4)
+    )
+    states = process.generate(20)
+    assert len(states) == 20
+    # Starts uncongested: 3 off, 2 on, 3 off, ...
+    assert states[:8] == [False] * 3 + [True] * 2 + [False] * 3
+
+
+def test_start_congested():
+    process = AlternatingRenewalProcess(
+        FixedSlots(2), FixedSlots(3), random.Random(5), start_congested=True
+    )
+    assert process.generate(2) == [True, True]
+
+
+def test_truth_frequency_and_duration():
+    states = [False, True, True, False, True, False, False, True, True, True]
+    frequency, duration = AlternatingRenewalProcess.truth(states)
+    assert frequency == pytest.approx(0.6)
+    # Episodes of length 2, 1, 3 -> A/B = 6/3.
+    assert duration == pytest.approx(2.0)
+
+
+def test_truth_empty_and_all_clear():
+    assert AlternatingRenewalProcess.truth([]) == (0.0, 0.0)
+    assert AlternatingRenewalProcess.truth([False] * 5) == (0.0, 0.0)
+
+
+def test_truth_matches_generation_parameters():
+    # Geometric on/off with means 3 and 27 -> F ≈ 0.1, D ≈ 3 slots.
+    process = AlternatingRenewalProcess(
+        GeometricSlots(3.0), GeometricSlots(27.0), random.Random(6)
+    )
+    states = process.generate(300_000)
+    frequency, duration = AlternatingRenewalProcess.truth(states)
+    assert frequency == pytest.approx(0.1, rel=0.1)
+    assert duration == pytest.approx(3.0, rel=0.1)
+
+
+def test_generate_rejects_empty():
+    process = AlternatingRenewalProcess(FixedSlots(1), FixedSlots(1), random.Random(7))
+    with pytest.raises(ConfigurationError):
+        process.generate(0)

@@ -1,0 +1,80 @@
+"""Tests for the §4/§6 traffic scenario constructors."""
+
+import pytest
+
+from repro.analysis.episodes import episodes_from_monitor
+from repro.experiments.runner import apply_scenario, build_testbed
+from repro.experiments.scenarios import scaled_flow_count
+from repro.errors import ConfigurationError
+from repro.units import mbps
+
+
+def test_scaled_flow_count():
+    assert scaled_flow_count(mbps(155)) == 40  # the paper's own setup
+    assert scaled_flow_count(mbps(12)) == 3
+    assert scaled_flow_count(mbps(1)) == 2  # floor
+
+
+def test_unknown_scenario_rejected():
+    sim, testbed = build_testbed()
+    with pytest.raises(ConfigurationError):
+        apply_scenario(sim, testbed, "bogus")
+
+
+def test_infinite_tcp_produces_sawtooth_loss():
+    sim, testbed = build_testbed(seed=3)
+    senders = apply_scenario(sim, testbed, "infinite_tcp")
+    assert len(senders) == scaled_flow_count(testbed.config.bottleneck_bps)
+    sim.run(until=40.0)
+    episodes = episodes_from_monitor(testbed.monitor)
+    assert len(episodes) >= 3
+    durations = [e.duration for e in episodes if e.duration > 0]
+    # TCP episodes last on the order of an RTT (~0.1 s), not seconds.
+    assert durations
+    assert max(durations) < 1.0
+
+
+def test_infinite_tcp_flow_count_override():
+    sim, testbed = build_testbed()
+    senders = apply_scenario(sim, testbed, "infinite_tcp", n_flows=7)
+    assert len(senders) == 7
+
+
+def test_infinite_tcp_staggered_starts():
+    sim, testbed = build_testbed()
+    apply_scenario(sim, testbed, "infinite_tcp", n_flows=5, stagger=2.0)
+    sim.run(until=0.01)
+    # No flow may start before its stagger draw; with 5 draws over 2 s,
+    # the odds all land in the first 10 ms are negligible.
+    assert sim.pending() > 0
+
+
+def test_episodic_cbr_uses_requested_durations():
+    sim, testbed = build_testbed(seed=4)
+    traffic = apply_scenario(
+        sim, testbed, "episodic_cbr",
+        episode_durations=(0.05,), mean_spacing=2.0,
+    )
+    sim.run(until=30.0)
+    assert all(duration == 0.05 for _t, duration in traffic.scheduled_episodes)
+    episodes = episodes_from_monitor(testbed.monitor)
+    assert episodes
+    for episode in episodes:
+        assert episode.duration < 0.1
+
+
+def test_harpoon_web_calibrated_load():
+    sim, testbed = build_testbed(seed=5)
+    traffic = apply_scenario(sim, testbed, "harpoon_web", load_factor=0.4)
+    sim.run(until=60.0)
+    offered = traffic.mean_offered_load_bps
+    # Offered load should be in the ballpark of the 40% target (heavy
+    # tails make this noisy; the point is calibration, not precision).
+    assert 0.15 * testbed.config.bottleneck_bps < offered < 0.9 * testbed.config.bottleneck_bps
+
+
+def test_harpoon_web_surges_produce_episodes():
+    sim, testbed = build_testbed(seed=6)
+    apply_scenario(sim, testbed, "harpoon_web", surge_interval_mean=8.0)
+    sim.run(until=60.0)
+    assert len(episodes_from_monitor(testbed.monitor)) >= 2

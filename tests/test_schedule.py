@@ -1,0 +1,120 @@
+"""Tests for the geometric experiment schedule."""
+
+import random
+
+import pytest
+
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import Experiment, GeometricSchedule, outcomes_from_true_states
+from repro.errors import ConfigurationError
+
+
+def make_schedule(p=0.3, n_slots=10_000, seed=1, improved=False):
+    return GeometricSchedule(p, n_slots, random.Random(seed), improved=improved)
+
+
+def test_experiment_slots():
+    assert Experiment(5, 2).slots == (5, 6)
+    assert Experiment(5, 3).slots == (5, 6, 7)
+
+
+def test_experiment_validation():
+    with pytest.raises(ConfigurationError):
+        Experiment(0, 4)
+    with pytest.raises(ConfigurationError):
+        Experiment(-1, 2)
+
+
+def test_start_rate_matches_p():
+    schedule = make_schedule(p=0.3, n_slots=50_000)
+    rate = schedule.n_experiments / schedule.n_slots
+    assert rate == pytest.approx(0.3, rel=0.05)
+
+
+def test_basic_schedule_has_only_pairs():
+    schedule = make_schedule()
+    assert all(e.length == 2 for e in schedule.experiments)
+
+
+def test_improved_schedule_mixes_pairs_and_triples_evenly():
+    schedule = make_schedule(improved=True, n_slots=50_000)
+    lengths = [e.length for e in schedule.experiments]
+    triples = sum(1 for length in lengths if length == 3)
+    assert triples / len(lengths) == pytest.approx(0.5, abs=0.05)
+
+
+def test_probe_slots_are_union_of_experiment_slots():
+    schedule = make_schedule(p=0.5, n_slots=1000, seed=3)
+    expected = set()
+    for experiment in schedule.experiments:
+        expected.update(experiment.slots)
+    assert set(schedule.probe_slots) == expected
+    assert schedule.probe_slots == sorted(expected)
+    assert schedule.n_probes == len(expected)
+
+
+def test_coverage_matches_shared_probe_model():
+    # Each slot is covered iff an experiment started there or one slot
+    # earlier: coverage = 1 - (1-p)^2 for the basic design.
+    schedule = make_schedule(p=0.3, n_slots=100_000)
+    coverage = schedule.n_probes / schedule.n_slots
+    assert coverage == pytest.approx(1 - 0.7 ** 2, rel=0.03)
+
+
+def test_experiments_fit_within_window():
+    schedule = make_schedule(p=1.0, n_slots=10)
+    for experiment in schedule.experiments:
+        assert experiment.start_slot + experiment.length <= 10
+
+
+def test_probe_load_accounting():
+    schedule = make_schedule(p=0.3, n_slots=10_000)
+    load = schedule.probe_load_bps(3, 600, 0.005)
+    expected = schedule.n_probes * 3 * 600 * 8 / (10_000 * 0.005)
+    assert load == pytest.approx(expected)
+
+
+def test_deterministic_given_seed():
+    a = make_schedule(seed=9)
+    b = make_schedule(seed=9)
+    assert a.experiments == b.experiments
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        make_schedule(p=0.0)
+    with pytest.raises(ConfigurationError):
+        make_schedule(p=1.5)
+    with pytest.raises(ConfigurationError):
+        make_schedule(n_slots=1)
+
+
+def test_outcomes_from_states_assembles_bits():
+    schedule = make_schedule(p=1.0, n_slots=6)
+    states = {slot: slot in (2, 3) for slot in schedule.probe_slots}
+    outcomes = schedule.outcomes_from_states(states)
+    by_start = {o.start_slot: o.as_string for o in outcomes}
+    assert by_start[1] == "01"
+    assert by_start[2] == "11"
+    assert by_start[3] == "10"
+    assert by_start[0] == "00"
+
+
+def test_outcomes_skip_missing_states_defensively():
+    schedule = make_schedule(p=1.0, n_slots=6)
+    states = {slot: False for slot in schedule.probe_slots}
+    del states[3]
+    outcomes = schedule.outcomes_from_states(states)
+    starts = {o.start_slot for o in outcomes}
+    assert 3 not in starts
+    assert 2 not in starts  # experiment (2,3) also touched slot 3
+
+
+def test_outcomes_from_true_states():
+    experiments = [Experiment(0, 2), Experiment(2, 3)]
+    states = [False, True, True, False, False]
+    outcomes = outcomes_from_true_states(experiments, states)
+    assert outcomes == [
+        ExperimentOutcome(0, (0, 1)),
+        ExperimentOutcome(2, (1, 0, 0)),
+    ]

@@ -1,0 +1,81 @@
+"""Tests for slot discretization helpers."""
+
+import pytest
+
+from repro.analysis.episodes import LossEpisode
+from repro.analysis.slots import (
+    congested_slot_count,
+    congested_slot_set,
+    make_in_episode,
+    slot_of,
+    true_frequency,
+)
+from repro.errors import ConfigurationError
+
+
+def test_slot_of():
+    assert slot_of(0.0, 0.005) == 0
+    assert slot_of(0.0049, 0.005) == 0
+    assert slot_of(0.005, 0.005) == 1
+    assert slot_of(1.0, 0.005) == 200
+
+
+def test_slot_of_rejects_bad_width():
+    with pytest.raises(ConfigurationError):
+        slot_of(1.0, 0.0)
+
+
+def test_congested_slots_span_episode():
+    episode = LossEpisode(0.012, 0.024, 3)
+    slots = congested_slot_set([episode], 0.005, 100)
+    # Covers slots 2 (0.010-0.015) through 4 (0.020-0.025).
+    assert slots == {2, 3, 4}
+
+
+def test_zero_length_episode_occupies_one_slot():
+    episode = LossEpisode(0.013, 0.013, 1)
+    assert congested_slot_set([episode], 0.005, 100) == {2}
+
+
+def test_overlapping_episodes_counted_once():
+    episodes = [LossEpisode(0.010, 0.020, 2), LossEpisode(0.020, 0.030, 2)]
+    assert congested_slot_count(episodes, 0.005, 100) == 5  # slots 2..6
+
+
+def test_episodes_clipped_to_measurement_window():
+    episode = LossEpisode(0.490, 0.600, 5)
+    # Only 100 slots (0..0.5 s): slots 98, 99 qualify.
+    assert congested_slot_set([episode], 0.005, 100) == {98, 99}
+
+
+def test_true_frequency():
+    episodes = [LossEpisode(0.0, 0.0049, 1)]  # slot 0 only
+    assert true_frequency(episodes, 0.005, 200) == pytest.approx(1 / 200)
+
+
+def test_true_frequency_rejects_empty_window():
+    with pytest.raises(ConfigurationError):
+        true_frequency([], 0.005, 0)
+
+
+def test_in_episode_predicate():
+    episodes = [LossEpisode(1.0, 2.0, 3), LossEpisode(5.0, 5.5, 2)]
+    in_episode = make_in_episode(episodes)
+    assert not in_episode(0.5)
+    assert in_episode(1.0)
+    assert in_episode(1.7)
+    assert in_episode(2.0)
+    assert not in_episode(3.0)
+    assert in_episode(5.25)
+    assert not in_episode(6.0)
+
+
+def test_in_episode_rejects_overlapping_input():
+    episodes = [LossEpisode(1.0, 3.0, 2), LossEpisode(2.0, 4.0, 2)]
+    with pytest.raises(ConfigurationError):
+        make_in_episode(episodes)
+
+
+def test_in_episode_empty():
+    in_episode = make_in_episode([])
+    assert not in_episode(1.0)

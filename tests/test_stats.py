@@ -1,0 +1,55 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import SummaryStats, mean_std, summarize
+
+
+def test_mean_std_basic():
+    mean, std = mean_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert mean == pytest.approx(5.0)
+    assert std == pytest.approx(2.0)
+
+
+def test_mean_std_empty_matches_paper_zero_reporting():
+    assert mean_std([]) == (0.0, 0.0)
+
+
+def test_mean_std_single_value():
+    assert mean_std([3.5]) == (3.5, 0.0)
+
+
+def test_summarize():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.n == 3
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+
+
+def test_summarize_empty():
+    summary = summarize([])
+    assert summary == SummaryStats(0, 0.0, 0.0, 0.0, 0.0)
+    assert summary.stderr() == 0.0
+
+
+def test_stderr_and_ci():
+    values = [1.0] * 100
+    summary = summarize(values)
+    assert summary.stderr() == 0.0
+    low, high = summary.ci95()
+    assert low == high == 1.0
+
+
+def test_ci_width_shrinks_with_n():
+    wide = summarize([0.0, 1.0] * 5)
+    narrow = summarize([0.0, 1.0] * 500)
+    assert (wide.ci95()[1] - wide.ci95()[0]) > (narrow.ci95()[1] - narrow.ci95()[0])
+
+
+def test_stderr_formula():
+    summary = summarize([0.0, 2.0])
+    assert summary.std == pytest.approx(1.0)
+    assert summary.stderr() == pytest.approx(1.0 / math.sqrt(2))

@@ -1,0 +1,104 @@
+"""Tests for windowed (streaming) estimation and level-shift detection."""
+
+import random
+
+import pytest
+
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import GeometricSchedule, outcomes_from_true_states
+from repro.core.streaming import WindowedEstimator, WindowPoint, detect_level_shift
+from repro.errors import ConfigurationError
+from repro.synthetic.renewal import AlternatingRenewalProcess, GeometricSlots
+
+
+def synthetic_outcomes(n_slots, on_mean, off_mean, seed):
+    rng = random.Random(seed)
+    process = AlternatingRenewalProcess(
+        GeometricSlots(on_mean), GeometricSlots(off_mean), rng
+    )
+    states = process.generate(n_slots)
+    schedule = GeometricSchedule(0.5, n_slots, random.Random(seed + 1))
+    return outcomes_from_true_states(schedule.experiments, states)
+
+
+def test_windows_partition_by_start_slot():
+    outcomes = [ExperimentOutcome(i, (0, 0)) for i in range(0, 100, 2)]
+    estimator = WindowedEstimator(window_slots=25, min_experiments=1)
+    points = estimator.windows(outcomes)
+    assert [p.window_index for p in points] == [0, 1, 2, 3]
+    assert points[0].start_slot == 0
+    assert points[0].end_slot == 24
+    assert sum(p.n_experiments for p in points) == 50
+
+
+def test_sparse_windows_skipped():
+    outcomes = [ExperimentOutcome(0, (0, 0))] * 3 + [
+        ExperimentOutcome(100, (0, 0)) for _ in range(20)
+    ]
+    estimator = WindowedEstimator(window_slots=50, min_experiments=10)
+    points = estimator.windows(outcomes)
+    assert [p.window_index for p in points] == [2]
+
+
+def test_window_estimates_track_local_truth():
+    outcomes = synthetic_outcomes(200_000, on_mean=4, off_mean=36, seed=5)
+    estimator = WindowedEstimator(window_slots=40_000)
+    points = estimator.windows(outcomes)
+    assert len(points) == 5
+    for point in points:
+        assert point.frequency == pytest.approx(0.1, abs=0.03)
+        assert point.transitions > 0
+        assert point.duration_slots == pytest.approx(4.0, rel=0.5)
+        assert point.duration_seconds(0.005) == pytest.approx(
+            point.duration_slots * 0.005
+        )
+
+
+def test_duration_none_when_window_has_no_transitions():
+    outcomes = [ExperimentOutcome(i, (0, 0)) for i in range(0, 100, 2)]
+    points = WindowedEstimator(25, min_experiments=5).windows(outcomes)
+    assert all(point.duration_slots is None for point in points)
+    assert all(point.duration_seconds(0.005) is None for point in points)
+
+
+def test_level_shift_detected_on_regime_change():
+    # Quiet first half, 5x busier second half.
+    quiet = synthetic_outcomes(100_000, 4, 196, seed=7)
+    busy = [
+        ExperimentOutcome(o.start_slot + 100_000, o.bits)
+        for o in synthetic_outcomes(100_000, 4, 36, seed=8)
+    ]
+    points = WindowedEstimator(20_000).windows(quiet + busy)
+    shift = detect_level_shift(points, factor=2.0)
+    assert shift is not None
+    assert points[shift].start_slot >= 100_000
+
+
+def test_no_shift_on_stationary_process():
+    outcomes = synthetic_outcomes(200_000, 4, 36, seed=9)
+    points = WindowedEstimator(20_000).windows(outcomes)
+    assert detect_level_shift(points, factor=2.5) is None
+
+
+def test_shift_from_zero_baseline():
+    flat = [ExperimentOutcome(i, (0, 0)) for i in range(0, 60_000, 3)]
+    burst = [ExperimentOutcome(i, (1, 1)) for i in range(60_000, 70_000, 3)]
+    points = WindowedEstimator(10_000, min_experiments=5).windows(flat + burst)
+    shift = detect_level_shift(points, factor=2.0)
+    assert shift is not None
+    assert points[shift].frequency > 0
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        WindowedEstimator(1)
+    with pytest.raises(ConfigurationError):
+        WindowedEstimator(100, min_experiments=0)
+    with pytest.raises(ConfigurationError):
+        detect_level_shift([], factor=1.0)
+
+
+def test_window_point_is_frozen():
+    point = WindowPoint(0, 0, 9, 5, 0.1, None, 0, True)
+    with pytest.raises(AttributeError):
+        point.frequency = 0.5

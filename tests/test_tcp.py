@@ -1,0 +1,222 @@
+"""Tests for the TCP Reno/NewReno model."""
+
+import pytest
+
+from repro.config import TestbedConfig
+from repro.errors import ConfigurationError
+from repro.net.simulator import Simulator
+from repro.net.topology import DumbbellTestbed
+from repro.traffic.tcp import TcpReceiver, TcpSender, start_tcp_flow
+from repro.units import mbps
+
+
+def build_testbed(seed=1, **cfg):
+    sim = Simulator(seed=seed)
+    testbed = DumbbellTestbed(sim, TestbedConfig(**cfg))
+    return sim, testbed
+
+
+def test_finite_flow_completes_and_fires_callback():
+    sim, testbed = build_testbed()
+    done = []
+    start_tcp_flow(
+        sim,
+        testbed.traffic_senders[0],
+        testbed.traffic_receivers[0],
+        total_segments=50,
+        on_complete=done.append,
+    )
+    sim.run(until=30.0)
+    assert len(done) == 1
+    sender = done[0]
+    assert sender.completed
+    assert sender.snd_una == 50
+
+
+def test_all_segments_delivered_in_order_without_loss():
+    sim, testbed = build_testbed()
+    port = 555
+    receiver = TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, total_segments=30
+    )
+    sim.run(until=20.0)
+    assert receiver.rcv_next == 30
+    assert receiver.duplicate_segments == 0
+
+
+def test_slow_start_doubles_window_per_rtt():
+    sim, testbed = build_testbed()
+    port = 556
+    TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    sender = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, initial_cwnd=2.0
+    )
+    # After ~1 RTT (0.1 s) the two initial segments are acked: cwnd ~4.
+    sim.run(until=0.16)
+    assert 3.5 <= sender.cwnd <= 6.0
+    sim.run(until=0.30)
+    assert sender.cwnd >= 7.0
+
+
+def test_completion_releases_port_bindings():
+    sim, testbed = build_testbed()
+    host_snd = testbed.traffic_senders[0]
+    host_rcv = testbed.traffic_receivers[0]
+    before_snd = len(host_snd._apps)
+    before_rcv = len(host_rcv._apps)
+    start_tcp_flow(sim, host_snd, host_rcv, total_segments=5)
+    sim.run(until=10.0)
+    assert len(host_snd._apps) == before_snd
+    assert len(host_rcv._apps) == before_rcv
+
+
+def test_congestion_produces_loss_and_retransmits_but_delivery_completes():
+    # Two flows into a tiny bottleneck buffer force drops; both flows must
+    # still deliver everything via retransmission.
+    sim, testbed = build_testbed(buffer_time=0.01)  # 15 kB buffer
+    done = []
+    for i in range(2):
+        start_tcp_flow(
+            sim,
+            testbed.traffic_senders[i],
+            testbed.traffic_receivers[i],
+            total_segments=400,
+            on_complete=done.append,
+        )
+    sim.run(until=120.0)
+    assert len(done) == 2
+    assert testbed.monitor.total_drops > 0
+    assert sum(sender.retransmits for sender in done) > 0
+
+
+def test_fast_retransmit_preferred_over_timeout_under_mild_loss():
+    sim, testbed = build_testbed(buffer_time=0.03, seed=4)
+    done = []
+    for i in range(2):
+        start_tcp_flow(
+            sim,
+            testbed.traffic_senders[i],
+            testbed.traffic_receivers[i],
+            total_segments=600,
+            on_complete=done.append,
+        )
+    sim.run(until=120.0)
+    assert len(done) == 2
+    fast = sum(sender.fast_retransmits for sender in done)
+    timeouts = sum(sender.timeouts for sender in done)
+    assert fast > 0
+    assert fast >= timeouts
+
+
+def test_rwnd_caps_window():
+    sim, testbed = build_testbed()
+    port = 557
+    TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    sender = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, rwnd=8
+    )
+    sim.run(until=5.0)
+    assert sender.cwnd <= 8.0
+    assert sender.flight_size <= 8
+
+
+def test_rtt_estimator_converges_to_path_rtt():
+    sim, testbed = build_testbed()
+    port = 558
+    TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    sender = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, rwnd=4
+    )
+    sim.run(until=5.0)
+    # Base RTT is ~100.4 ms plus one serialization; srtt should be close.
+    assert sender.srtt == pytest.approx(0.102, abs=0.01)
+
+
+def test_throughput_approaches_bottleneck_for_single_flow():
+    # Measure steady state (after the initial slow-start overshoot and its
+    # lengthy NewReno recovery): the congestion-avoidance sawtooth between
+    # ~BDP and BDP+buffer should keep the bottleneck essentially full.
+    sim, testbed = build_testbed()
+    port = 559
+    receiver = TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    TcpSender(sim, testbed.traffic_senders[0], "trcv0", port)
+    sim.run(until=30.0)
+    delivered_at_30 = receiver.rcv_next
+    sim.run(until=60.0)
+    goodput = (receiver.rcv_next - delivered_at_30) * 1500 * 8 / 30.0
+    assert goodput > 0.9 * mbps(12)
+
+
+def test_timeout_recovers_from_total_blackout():
+    # Deliver nothing for a while by keeping the receiver unbound; the
+    # sender must back off and eventually deliver once binding appears.
+    sim, testbed = build_testbed()
+    port = 560
+    sender = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, total_segments=3
+    )
+    sim.run(until=2.0)
+    assert sender.timeouts >= 1
+    TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    sim.run(until=60.0)
+    assert sender.completed
+
+
+def test_parameter_validation():
+    sim, testbed = build_testbed()
+    with pytest.raises(ConfigurationError):
+        TcpSender(sim, testbed.traffic_senders[0], "trcv0", 600, mss=10)
+    with pytest.raises(ConfigurationError):
+        TcpSender(sim, testbed.traffic_senders[0], "trcv0", 601, rwnd=1)
+    with pytest.raises(ConfigurationError):
+        TcpSender(
+            sim, testbed.traffic_senders[0], "trcv0", 602, total_segments=0
+        )
+
+
+def test_receiver_buffers_out_of_order_segments():
+    sim, testbed = build_testbed(buffer_time=0.02, seed=8)
+    port = 561
+    receiver = TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    start_a = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, total_segments=300
+    )
+    # A second flow to force drops (and thus reordering at the receiver).
+    start_tcp_flow(
+        sim,
+        testbed.traffic_senders[1],
+        testbed.traffic_receivers[1],
+        total_segments=300,
+    )
+    sim.run(until=60.0)
+    assert start_a.completed
+    assert receiver.rcv_next == 300
+
+
+def test_rto_backoff_doubles_on_repeated_timeouts():
+    sim, testbed = build_testbed()
+    port = 562
+    sender = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, total_segments=2
+    )
+    # No receiver bound anywhere: every transmission times out.
+    sim.run(until=20.0)
+    assert sender.timeouts >= 3
+    # Exponential backoff caps the rate of retransmissions: with doubling
+    # from 1 s, at most ~5 timeouts fit in 20 s (1+2+4+8 = 15).
+    assert sender.timeouts <= 6
+
+
+def test_backoff_resets_after_progress():
+    sim, testbed = build_testbed()
+    port = 563
+    sender = TcpSender(
+        sim, testbed.traffic_senders[0], "trcv0", port, total_segments=4
+    )
+    sim.run(until=5.0)
+    assert sender._backoff > 1
+    TcpReceiver(sim, testbed.traffic_receivers[0], port)
+    sim.run(until=60.0)
+    assert sender.completed
+    assert sender._backoff == 1

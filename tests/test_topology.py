@@ -1,0 +1,123 @@
+"""Tests for topology building and the dumbbell testbed replica."""
+
+import pytest
+
+from repro.config import TestbedConfig
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+from repro.net.topology import DumbbellTestbed, Topology
+from repro.units import mbps, ms
+
+
+def test_routes_follow_shortest_paths():
+    sim = Simulator()
+    topo = Topology(sim)
+    for name in ("a", "b", "c"):
+        topo.add_host(name)
+    topo.add_router("r1")
+    topo.add_router("r2")
+    topo.connect("a", "r1", mbps(100), 0.001)
+    topo.connect("b", "r2", mbps(100), 0.001)
+    topo.connect("r1", "r2", mbps(100), 0.001)
+    topo.connect("c", "r1", mbps(100), 0.001)
+    topo.build_routes()
+    assert topo.nodes["a"].routes["b"] == "r1"
+    assert topo.nodes["r1"].routes["b"] == "r2"
+    assert topo.nodes["a"].routes["c"] == "r1"
+
+
+def test_disconnected_topology_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("a")
+    topo.add_host("b")
+    with pytest.raises(RoutingError):
+        topo.build_routes()
+
+
+def test_duplicate_node_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("a")
+    with pytest.raises(ConfigurationError):
+        topo.add_router("a")
+
+
+def test_end_to_end_delivery_through_dumbbell():
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim)
+    got = []
+    testbed.traffic_receivers[0].bind("udp", 9, got.append)
+    testbed.traffic_senders[0].send(
+        Packet("tsnd0", "trcv0", 1500, port=9)
+    )
+    sim.run()
+    assert len(got) == 1
+
+
+def test_probe_hosts_exist_and_are_routable():
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim)
+    got = []
+    testbed.probe_receiver.bind("probe", 1, got.append)
+    testbed.probe_sender.send(
+        Packet("probesnd", "probercv", 600, protocol="probe", port=1)
+    )
+    sim.run()
+    assert len(got) == 1
+
+
+def test_bottleneck_buffer_sized_in_time():
+    config = TestbedConfig(bottleneck_bps=mbps(12), buffer_time=ms(100))
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim, config)
+    # 100 ms at 12 Mb/s = 150,000 bytes.
+    assert testbed.bottleneck_queue.capacity_bytes == 150_000
+
+
+def test_one_way_propagation_matches_config():
+    config = TestbedConfig(prop_delay=ms(50), access_delay=ms(0.1))
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim, config)
+    assert testbed.one_way_propagation == pytest.approx(0.0502)
+    assert config.base_rtt == pytest.approx(0.1004)
+
+
+def test_loss_happens_only_at_bottleneck():
+    sim = Simulator()
+    config = TestbedConfig(n_traffic_pairs=1)
+    testbed = DumbbellTestbed(sim, config)
+    testbed.traffic_receivers[0].bind("udp", 9, lambda packet: None)
+    # Blast 1 MB instantly: far more than the 150 kB bottleneck buffer.
+    for _ in range(700):
+        testbed.traffic_senders[0].send(Packet("tsnd0", "trcv0", 1500, port=9))
+    sim.run()
+    assert testbed.monitor.total_drops > 0
+    # Access links had room (their queues are effectively unlimited).
+    assert testbed.bottleneck_queue.stats.dropped_packets == testbed.monitor.total_drops
+
+
+def test_red_variant_constructs():
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim, TestbedConfig(red=True))
+    assert type(testbed.bottleneck_queue).__name__ == "REDQueue"
+
+
+def test_host_accessor_rejects_routers():
+    sim = Simulator()
+    testbed = DumbbellTestbed(sim)
+    assert testbed.host("tsnd0").name == "tsnd0"
+    with pytest.raises(ConfigurationError):
+        testbed.host("routerL")
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        TestbedConfig(access_bps=mbps(1), bottleneck_bps=mbps(12))
+    with pytest.raises(ConfigurationError):
+        TestbedConfig(n_traffic_pairs=0)
+    with pytest.raises(ConfigurationError):
+        TestbedConfig(buffer_time=0)
+    with pytest.raises(ConfigurationError):
+        TestbedConfig(mtu=10)

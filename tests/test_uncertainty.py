@@ -1,0 +1,105 @@
+"""Tests for bootstrap uncertainty quantification."""
+
+import random
+
+import pytest
+
+from repro.core.records import ExperimentOutcome
+from repro.core.schedule import GeometricSchedule, outcomes_from_true_states
+from repro.core.uncertainty import BootstrapResult, bootstrap_estimates
+from repro.errors import EstimationError
+from repro.synthetic.renewal import AlternatingRenewalProcess, GeometricSlots
+
+
+def outcome(bits):
+    return ExperimentOutcome(0, tuple(bits))
+
+
+def synthetic_outcomes(n_slots=120_000, p=0.3, seed=1):
+    rng = random.Random(seed)
+    process = AlternatingRenewalProcess(GeometricSlots(4), GeometricSlots(36), rng)
+    states = process.generate(n_slots)
+    schedule = GeometricSchedule(p, n_slots, random.Random(seed + 1))
+    return outcomes_from_true_states(schedule.experiments, states)
+
+
+def test_point_estimates_match_estimator():
+    outcomes = synthetic_outcomes()
+    from repro.core.estimators import estimate_from_outcomes
+
+    point = estimate_from_outcomes(outcomes)
+    boot = bootstrap_estimates(outcomes, n_resamples=50, rng=random.Random(2))
+    assert boot.frequency == point.frequency
+    assert boot.duration_slots == point.duration_slots
+
+
+def test_intervals_cover_truth_on_synthetic_process():
+    outcomes = synthetic_outcomes()
+    boot = bootstrap_estimates(outcomes, n_resamples=200, rng=random.Random(3))
+    low_f, high_f = boot.frequency_interval
+    assert low_f <= 0.1 <= high_f or abs(boot.frequency - 0.1) < 0.02
+    low_d, high_d = boot.duration_interval
+    assert low_d <= 4.0 <= high_d or abs(boot.duration_slots - 4.0) < 0.8
+    assert boot.duration_support == 1.0
+
+
+def test_interval_contains_point_estimate():
+    outcomes = synthetic_outcomes(n_slots=60_000)
+    boot = bootstrap_estimates(outcomes, n_resamples=100, rng=random.Random(5))
+    assert boot.frequency_interval[0] <= boot.frequency <= boot.frequency_interval[1]
+
+
+def test_more_data_narrows_interval():
+    small = bootstrap_estimates(
+        synthetic_outcomes(n_slots=20_000), n_resamples=100, rng=random.Random(7)
+    )
+    large = bootstrap_estimates(
+        synthetic_outcomes(n_slots=200_000), n_resamples=100, rng=random.Random(7)
+    )
+    small_width = small.frequency_interval[1] - small.frequency_interval[0]
+    large_width = large.frequency_interval[1] - large.frequency_interval[0]
+    assert large_width < small_width
+
+
+def test_block_bootstrap_runs():
+    outcomes = synthetic_outcomes(n_slots=30_000)
+    boot = bootstrap_estimates(
+        outcomes, n_resamples=50, block=10, rng=random.Random(9)
+    )
+    assert boot.n_resamples == 50
+    assert boot.frequency_interval[0] <= boot.frequency_interval[1]
+
+
+def test_duration_support_below_one_when_transitions_rare():
+    # Mostly 00 with a single 01: many resamples miss the transition.
+    outcomes = [outcome((0, 0))] * 200 + [outcome((0, 1))]
+    boot = bootstrap_estimates(outcomes, n_resamples=100, rng=random.Random(11))
+    assert boot.duration_support < 1.0
+
+
+def test_seconds_scaling():
+    outcomes = synthetic_outcomes(n_slots=30_000)
+    boot = bootstrap_estimates(outcomes, n_resamples=50, rng=random.Random(13))
+    low_s, high_s = boot.duration_interval_seconds(0.005)
+    assert low_s == pytest.approx(boot.duration_interval[0] * 0.005)
+    assert high_s == pytest.approx(boot.duration_interval[1] * 0.005)
+
+
+def test_parameter_validation():
+    outcomes = [outcome((0, 1))] * 10
+    with pytest.raises(EstimationError):
+        bootstrap_estimates([], n_resamples=50)
+    with pytest.raises(EstimationError):
+        bootstrap_estimates(outcomes, n_resamples=5)
+    with pytest.raises(EstimationError):
+        bootstrap_estimates(outcomes, confidence=0.4)
+    with pytest.raises(EstimationError):
+        bootstrap_estimates(outcomes, block=0)
+
+
+def test_deterministic_given_rng():
+    outcomes = synthetic_outcomes(n_slots=30_000)
+    a = bootstrap_estimates(outcomes, n_resamples=50, rng=random.Random(42))
+    b = bootstrap_estimates(outcomes, n_resamples=50, rng=random.Random(42))
+    assert a == b
+    assert isinstance(a, BootstrapResult)

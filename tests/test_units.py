@@ -1,0 +1,50 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+def test_rate_conversions():
+    assert units.kbps(1) == 1_000
+    assert units.mbps(1) == 1_000_000
+    assert units.gbps(1) == 1_000_000_000
+    assert units.mbps(155) == 155e6
+
+
+def test_time_conversions():
+    assert units.ms(5) == pytest.approx(0.005)
+    assert units.us(30) == pytest.approx(30e-6)
+    assert units.seconds_to_ms(0.068) == pytest.approx(68.0)
+
+
+def test_size_conversions():
+    assert units.kib(1) == 1024
+    assert units.mib(2) == 2 * 1024 * 1024
+
+
+def test_transmission_time_1500B_at_12mbps():
+    # 1500 bytes = 12000 bits at 12 Mb/s -> exactly 1 ms.
+    assert units.transmission_time(1500, units.mbps(12)) == pytest.approx(0.001)
+
+
+def test_transmission_time_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time(1500, 0)
+    with pytest.raises(ValueError):
+        units.transmission_time(1500, -1)
+
+
+def test_bytes_for_duration_sizes_the_paper_buffer():
+    # 100 ms of OC3 (155 Mb/s) is ~1.94 MB.
+    buffer_bytes = units.bytes_for_duration(0.100, units.mbps(155))
+    assert buffer_bytes == int(0.100 * 155e6 / 8)
+
+
+def test_bytes_for_duration_rejects_negative():
+    with pytest.raises(ValueError):
+        units.bytes_for_duration(-0.1, units.mbps(10))
+
+
+def test_bits_per_byte_constant():
+    assert units.BITS_PER_BYTE == 8

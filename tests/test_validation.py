@@ -1,0 +1,116 @@
+"""Tests for the §5.4 validation tests and stopping rules."""
+
+from repro.core.records import ExperimentOutcome
+from repro.core.validation import (
+    SequentialValidator,
+    ValidationReport,
+    validate_outcomes,
+)
+
+
+def outcome(bits):
+    return ExperimentOutcome(0, tuple(bits))
+
+
+def report(**kwargs):
+    defaults = dict(
+        n_experiments=100, n01=0, n10=0, n001=0, n100=0, n011=0, n110=0,
+        n010=0, n101=0,
+    )
+    defaults.update(kwargs)
+    return ValidationReport(**defaults)
+
+
+def test_validate_outcomes_counts_patterns():
+    outcomes = (
+        [outcome((0, 1))] * 3
+        + [outcome((1, 0))] * 2
+        + [outcome((0, 1, 0))] * 1
+        + [outcome((1, 0, 0))] * 4
+    )
+    validation = validate_outcomes(outcomes)
+    assert validation.n01 == 3
+    assert validation.n10 == 2
+    assert validation.n010 == 1
+    assert validation.n100 == 4
+    assert validation.n_experiments == 10
+
+
+def test_symmetric_transitions_have_zero_asymmetry():
+    validation = report(n01=20, n10=20)
+    assert validation.transition_asymmetry == 0.0
+    assert validation.is_acceptable()
+
+
+def test_asymmetry_detected():
+    validation = report(n01=30, n10=10)
+    assert validation.transition_asymmetry == 0.5
+    assert not validation.is_acceptable(max_asymmetry=0.3)
+
+
+def test_asymmetry_ignored_below_min_transitions():
+    # 3 vs 1 is asymmetric but far too small a sample to judge.
+    validation = report(n01=3, n10=1)
+    assert validation.is_acceptable(min_transitions=10)
+
+
+def test_violations_fail_validation():
+    validation = report(n010=4, n101=3)
+    assert validation.violations == 7
+    assert validation.violation_rate == 0.07
+    assert not validation.is_acceptable(max_violation_rate=0.05)
+
+
+def test_extended_asymmetries():
+    validation = report(n011=10, n110=30, n001=5, n100=5)
+    assert validation.extended_pair_asymmetry == 0.5
+    assert validation.extended_gap_asymmetry == 0.0
+
+
+def test_empty_report_is_acceptable():
+    validation = report(n_experiments=0)
+    assert validation.is_acceptable()
+    assert validation.violation_rate == 0.0
+
+
+def test_sequential_validator_stops_after_enough_transitions():
+    validator = SequentialValidator(
+        target_relative_error=0.2, min_transitions=10
+    )
+    # 1/sqrt(S) <= 0.2 requires S >= 25 transitions.
+    for _ in range(12):
+        validator.add(outcome((0, 1)))
+        validator.add(outcome((1, 0)))
+    assert not validator.should_stop()  # 24 transitions: error 0.204
+    validator.add(outcome((0, 1)))
+    validator.add(outcome((1, 0)))
+    assert validator.should_stop()
+
+
+def test_sequential_validator_does_not_stop_on_asymmetric_data():
+    validator = SequentialValidator(target_relative_error=0.2, max_asymmetry=0.3)
+    validator.extend([outcome((0, 1))] * 50)  # all beginnings, no endings
+    assert not validator.should_stop()
+
+
+def test_sequential_validator_aborts_on_persistent_asymmetry():
+    validator = SequentialValidator(abort_after_transitions=100)
+    validator.extend([outcome((0, 1))] * 120)
+    assert validator.should_abort()
+
+
+def test_sequential_validator_no_abort_when_symmetric():
+    validator = SequentialValidator(abort_after_transitions=100)
+    validator.extend([outcome((0, 1))] * 60 + [outcome((1, 0))] * 60)
+    assert not validator.should_abort()
+
+
+def test_estimated_relative_error():
+    validator = SequentialValidator()
+    assert validator.estimated_relative_error() is None
+    validator.extend([outcome((0, 1))] * 4)
+    assert validator.estimated_relative_error() == 0.5  # 1/sqrt(4)
+
+
+def test_transition_count_property():
+    assert report(n01=3, n10=4).transition_count == 7

@@ -1,0 +1,114 @@
+"""Tests for the ZING Poisson baseline."""
+
+import pytest
+
+from repro.core.zing import ZingResult, ZingTool
+from repro.errors import ConfigurationError
+from repro.experiments.runner import DRAIN_TIME, apply_scenario, build_testbed
+
+
+def deploy(seed=1, scenario=None, scenario_kwargs=None, **tool_kwargs):
+    sim, testbed = build_testbed(seed=seed)
+    if scenario:
+        apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    defaults = dict(mean_interval=0.05, packet_size=256, duration=30.0, start=1.0)
+    defaults.update(tool_kwargs)
+    tool = ZingTool(sim, testbed.probe_sender, testbed.probe_receiver, **defaults)
+    return sim, testbed, tool
+
+
+def test_mean_rate_matches_configuration():
+    sim, _testbed, tool = deploy(duration=60.0, mean_interval=0.05)
+    sim.run(until=61.0 + DRAIN_TIME)
+    result = tool.result()
+    # 20 Hz over 60 s: ~1200 probes.
+    assert result.n_sent == pytest.approx(1200, rel=0.1)
+
+
+def test_intervals_are_exponential():
+    sim, _testbed, tool = deploy(duration=120.0, mean_interval=0.1)
+    sim.run(until=121.0 + DRAIN_TIME)
+    times = sorted(tool.sender.sent.values())
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap == pytest.approx(0.1, rel=0.1)
+    # Coefficient of variation ~1 for exponential (vs 0 for periodic).
+    variance = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+    assert (variance ** 0.5) / mean_gap == pytest.approx(1.0, abs=0.2)
+
+
+def test_no_loss_on_idle_network():
+    sim, _testbed, tool = deploy()
+    sim.run(until=31.0 + DRAIN_TIME)
+    result = tool.result()
+    assert result.n_lost == 0
+    assert result.frequency == 0.0
+    assert result.loss_runs == []
+    assert result.duration_mean == 0.0
+    assert result.mean_owd > 0.05  # propagation floor
+
+
+def test_reports_loss_under_congestion():
+    sim, _testbed, tool = deploy(
+        seed=3,
+        scenario="episodic_cbr",
+        scenario_kwargs={"episode_durations": (0.068,), "mean_spacing": 3.0},
+        duration=60.0,
+    )
+    sim.run(until=61.0 + DRAIN_TIME)
+    result = tool.result()
+    assert result.n_lost > 0
+    assert 0.0 < result.frequency < 0.05
+
+
+def test_consecutive_loss_runs_grouped():
+    result = ZingResult(
+        n_sent=10, n_lost=3,
+        loss_runs=[(1.0, 1.2, 2), (5.0, 5.0, 1)],
+        duration_mean=0.1, duration_std=0.1, mean_owd=0.05,
+    )
+    assert result.n_episodes == 2
+    assert result.frequency == pytest.approx(0.3)
+
+
+def test_run_grouping_from_logs():
+    sim, _testbed, tool = deploy(duration=5.0)
+    sim.run(until=6.0 + DRAIN_TIME)
+    # Forge losses: remove seqs 3,4 and 8 from the receiver log.
+    for seq in (3, 4, 8):
+        tool.receiver.received.pop(seq, None)
+    result = tool.result()
+    assert result.n_lost == 3
+    assert len(result.loss_runs) == 2
+    first, second = result.loss_runs
+    assert first[2] == 2
+    assert second[2] == 1
+    assert result.duration_mean > 0.0  # the 2-run has positive span
+
+
+def test_flight_mode_sends_bunches():
+    sim, _testbed, tool = deploy(duration=5.0, flight=3)
+    sim.run(until=6.0 + DRAIN_TIME)
+    assert all(len(flight) == 3 for flight in tool.sender.flights if flight)
+    assert tool.result().n_sent == 3 * len(tool.sender.flights)
+
+
+def test_zero_frequency_when_nothing_sent():
+    result = ZingResult(0, 0, [], 0.0, 0.0, 0.0)
+    assert result.frequency == 0.0
+
+
+def test_parameter_validation():
+    sim, testbed = build_testbed()
+    with pytest.raises(ConfigurationError):
+        ZingTool(sim, testbed.probe_sender, testbed.probe_receiver, mean_interval=0)
+    with pytest.raises(ConfigurationError):
+        ZingTool(
+            sim, testbed.probe_sender, testbed.probe_receiver,
+            mean_interval=0.1, packet_size=0,
+        )
+    with pytest.raises(ConfigurationError):
+        ZingTool(
+            sim, testbed.probe_sender, testbed.probe_receiver,
+            mean_interval=0.1, duration=0.0,
+        )
