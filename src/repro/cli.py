@@ -17,11 +17,13 @@ import math
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.experiments import figures as _figures
 from repro.experiments import render as _render
 from repro.experiments import tables as _tables
 from repro.experiments.profiles import PROFILES, active_profile
 from repro.experiments.runner import SCENARIOS, run_badabing, run_zing
+from repro.net.faults import FAULT_PROFILES as _FAULT_PROFILES
 
 
 def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +50,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         seed=args.seed,
         improved=args.improved,
         warmup=profile.warmup,
+        faults=args.faults if args.faults != "none" else None,
         keep=keep,
     )
     if args.save:
@@ -74,7 +77,25 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         f"asymmetry={validation.transition_asymmetry:.3f} "
         f"violations={validation.violations}"
     )
+    _print_degraded_summary(result, keep.get("fault_injector"))
     return 0
+
+
+def _print_degraded_summary(result, injector) -> None:
+    """Coverage + injected-fault accounting for degraded-mode runs."""
+    coverage = result.coverage
+    if coverage is not None and not coverage.complete:
+        print(f"degraded: {coverage.describe()}")
+    if result.duplicate_arrivals:
+        print(f"degraded: {result.duplicate_arrivals} duplicate arrivals discarded")
+    if injector is not None:
+        stats = injector.stats
+        print(
+            f"faults injected: dropped={stats.dropped} "
+            f"(random={stats.dropped_random} burst={stats.dropped_burst} "
+            f"flap={stats.dropped_flap} outage={stats.dropped_outage}) "
+            f"duplicated={stats.duplicated} reordered={stats.reordered}"
+        )
 
 
 def _cmd_zing(args: argparse.Namespace) -> int:
@@ -101,7 +122,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.config import MarkingConfig
     from repro.io import load_measurement, reestimate
 
-    measurement = load_measurement(args.trace)
+    measurement = load_measurement(args.trace, recover=args.recover)
+    for diagnostic in measurement.diagnostics:
+        print(
+            f"recovered: skipped corrupt line {diagnostic.line_number}: "
+            f"{diagnostic.reason}",
+            file=sys.stderr,
+        )
     result = reestimate(
         measurement, marking=MarkingConfig(alpha=args.alpha, tau=args.tau)
     )
@@ -124,6 +151,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"asymmetry={validation.transition_asymmetry:.3f} "
         f"violations={validation.violations}"
     )
+    _print_degraded_summary(result, None)
     return 0
 
 
@@ -180,6 +208,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("tables:   ", ", ".join(sorted(_tables.ALL_TABLES)))
     print("figures:  ", ", ".join(sorted(_figures.ALL_FIGURES)))
     print("profiles: ", ", ".join(sorted(PROFILES)))
+    print("faults:   ", ", ".join(sorted(_FAULT_PROFILES)))
     return 0
 
 
@@ -198,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--seed", type=int, default=1)
     measure.add_argument("--improved", action="store_true", help="use the §5.3 improved algorithm")
     measure.add_argument("--save", default="", help="save the measurement trace (JSONL)")
+    measure.add_argument(
+        "--faults",
+        choices=sorted(_FAULT_PROFILES),
+        default="none",
+        help="inject a named fault profile on the measured path",
+    )
     _add_profile_argument(measure)
     measure.set_defaults(handler=_cmd_measure)
 
@@ -207,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("trace", help="path to a badabing-trace JSONL file")
     analyze.add_argument("--alpha", type=float, default=0.1, help="§6.1 delay fraction")
     analyze.add_argument("--tau", type=float, default=0.080, help="§6.1 loss proximity window (s)")
+    analyze.add_argument(
+        "--recover",
+        action="store_true",
+        help="skip corrupt trace lines (with diagnostics) instead of aborting",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     zing = commands.add_parser("zing", help="run the Poisson (ZING) baseline")
@@ -248,7 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

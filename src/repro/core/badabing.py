@@ -27,7 +27,7 @@ from repro.core.clock import Clock
 from repro.core.estimators import LossEstimate, estimate_from_outcomes
 from repro.core.jitter import JitterModel, NoJitter
 from repro.core.marking import CongestionMarker, MarkingResult
-from repro.core.records import ExperimentOutcome, ProbeRecord
+from repro.core.records import CoverageReport, ExperimentOutcome, ProbeRecord
 from repro.core.schedule import GeometricSchedule
 from repro.core.validation import ValidationReport, validate_outcomes
 from repro.net.node import Host
@@ -88,17 +88,29 @@ class _ProbeSender(Application):
 
 
 class _ProbeReceiver(Application):
-    """Logs probe arrivals with the receiver's clock."""
+    """Logs probe arrivals with the receiver's clock.
+
+    The log is keyed by probe sequence ``(slot, packet index)``, so
+    reordered arrivals land in the right place regardless of arrival
+    order, and duplicated packets are deduplicated by keeping the *first*
+    arrival per sequence number (later copies only bump a counter).
+    """
 
     def __init__(self, sim: Simulator, host: Host, clock: Clock, port: Optional[int] = None):
         super().__init__(sim, host, PROBE_PROTOCOL, port)
         self.clock = clock
         #: (slot, packet index) -> receiver-clock arrival timestamp.
         self.received: Dict[Tuple[int, int], float] = {}
+        #: Arrivals discarded because the sequence number was already logged.
+        self.duplicate_arrivals = 0
 
     def on_packet(self, packet) -> None:
         slot, index, _stamp = packet.payload
-        self.received[(slot, index)] = self.clock.read(self.sim.now)
+        key = (slot, index)
+        if key in self.received:
+            self.duplicate_arrivals += 1
+            return
+        self.received[key] = self.clock.read(self.sim.now)
 
 
 @dataclass
@@ -113,6 +125,10 @@ class BadabingResult:
     n_probes_sent: int
     probe_load_bps: float
     slot_width: float
+    #: Plan-vs-observed accounting (how degraded the measurement was).
+    coverage: Optional[CoverageReport] = None
+    #: Receiver-side duplicate arrivals discarded during the log join.
+    duplicate_arrivals: int = 0
 
     @property
     def frequency(self) -> float:
@@ -241,6 +257,7 @@ class BadabingTool:
         self,
         marking: Optional[MarkingConfig] = None,
         probes: Optional[List[ProbeRecord]] = None,
+        blackout_windows: Optional[List[Tuple[float, float]]] = None,
     ) -> BadabingResult:
         """Run marking + estimation + validation over the collected logs.
 
@@ -249,17 +266,36 @@ class BadabingTool:
         tau) settings — how the Figure 9 sensitivity sweeps are produced.
         ``probes`` optionally substitutes pre-processed records (e.g.
         de-skewed via :func:`repro.core.clock.deskew_probe_records`).
+
+        ``blackout_windows`` lists absolute-time ``(start, end)`` intervals
+        during which the collector is known to have been down (crash /
+        restart). Probes sent inside a window are *excluded* rather than
+        mistaken for total loss — their slots count against the coverage
+        report instead of polluting the congestion estimate. With every
+        probe blacked out, estimation raises
+        :class:`~repro.errors.EstimationError` carrying the coverage.
         """
         if probes is None:
             probes = self.probe_records()
+        if blackout_windows:
+            probes = [
+                probe
+                for probe in probes
+                if not any(
+                    start <= probe.send_time < end for start, end in blackout_windows
+                )
+            ]
         marker = CongestionMarker(marking) if marking is not None else self.marker
         marked = marker.mark(probes)
         outcomes = self.schedule.outcomes_from_states(marked.slot_states)
-        estimate = estimate_from_outcomes(outcomes, improved=self.config.improved)
+        coverage = self.schedule.coverage_from_states(marked.slot_states)
+        estimate = estimate_from_outcomes(
+            outcomes, improved=self.config.improved, coverage=coverage
+        )
         cfg = self.config
         return BadabingResult(
             estimate=estimate,
-            validation=validate_outcomes(outcomes),
+            validation=validate_outcomes(outcomes, coverage=coverage),
             marking=marked,
             probes=probes,
             outcomes=outcomes,
@@ -268,4 +304,6 @@ class BadabingTool:
                 cfg.probe.packets_per_probe, cfg.probe.probe_size, cfg.probe.slot
             ),
             slot_width=cfg.probe.slot,
+            coverage=coverage,
+            duplicate_arrivals=self.receiver.duplicate_arrivals,
         )

@@ -30,7 +30,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
-from repro.core.records import ExperimentOutcome
+from repro.core.records import CoverageReport, ExperimentOutcome
 from repro.errors import EstimationError
 
 #: Two-slot patterns contributing to R (some congestion observed).
@@ -58,6 +58,9 @@ class LossEstimate:
     counts: Dict[str, int] = field(default_factory=dict)
     r_hat: Optional[float] = None
     improved: bool = False
+    #: Fraction of the planned measurement the estimate actually rests on
+    #: (None when the caller provided no plan to compare against).
+    coverage: Optional[CoverageReport] = None
 
     @property
     def duration_valid(self) -> bool:
@@ -136,6 +139,7 @@ def estimate_from_outcomes(
     outcomes: Iterable[ExperimentOutcome],
     improved: Optional[bool] = None,
     include_extended_prefixes: bool = False,
+    coverage: Optional[CoverageReport] = None,
 ) -> LossEstimate:
     """Run the §5 estimators over a set of experiment outcomes.
 
@@ -149,15 +153,22 @@ def estimate_from_outcomes(
     include_extended_prefixes:
         §5.5 modification: also count the first two digits of extended
         experiments toward R and S, increasing the sample size.
+    coverage:
+        The plan-vs-observed accounting of a degraded measurement. It is
+        attached to the returned estimate and included in the error raised
+        when nothing usable survived.
 
     Raises
     ------
     EstimationError
-        If no experiments were provided at all.
+        If no usable experiments were provided at all (coverage zero).
+        This is the *only* failure mode — partial data degrades to a
+        thinner estimate, never to an arithmetic error.
     """
     outcome_list = list(outcomes)
     if not outcome_list:
-        raise EstimationError("no experiments to estimate from")
+        detail = f" ({coverage.describe()})" if coverage is not None else ""
+        raise EstimationError(f"no experiments to estimate from{detail}")
     counter = count_patterns(outcome_list)
 
     if include_extended_prefixes:
@@ -203,6 +214,7 @@ def estimate_from_outcomes(
         counts=counts,
         r_hat=r_hat,
         improved=use_improved,
+        coverage=coverage,
     )
 
 

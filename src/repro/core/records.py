@@ -103,6 +103,67 @@ class ExperimentOutcome:
         return self.bits[0]
 
 
+@dataclass(frozen=True)
+class CoverageReport:
+    """How much of a planned measurement produced usable data.
+
+    Degraded runs (duplicated/reordered/partially lost logs, collector
+    outages, truncated simulations) can leave scheduled slots with no
+    probe record; the estimators then work from fewer experiments than
+    planned. This report quantifies the gap so consumers can weight or
+    reject estimates from thin data instead of silently trusting them.
+    """
+
+    scheduled_slots: int
+    usable_slots: int
+    scheduled_experiments: int
+    usable_experiments: int
+
+    def __post_init__(self) -> None:
+        if self.scheduled_slots < 0 or self.scheduled_experiments < 0:
+            raise ConfigurationError("scheduled counts must be non-negative")
+        if not 0 <= self.usable_slots <= self.scheduled_slots:
+            raise ConfigurationError(
+                f"usable_slots must be in [0, {self.scheduled_slots}], "
+                f"got {self.usable_slots}"
+            )
+        if not 0 <= self.usable_experiments <= self.scheduled_experiments:
+            raise ConfigurationError(
+                f"usable_experiments must be in [0, {self.scheduled_experiments}], "
+                f"got {self.usable_experiments}"
+            )
+
+    @property
+    def slot_fraction(self) -> float:
+        """Slots with usable data / scheduled slots (1.0 when none planned)."""
+        if self.scheduled_slots == 0:
+            return 1.0
+        return self.usable_slots / self.scheduled_slots
+
+    @property
+    def experiment_fraction(self) -> float:
+        """Usable experiments / scheduled experiments (1.0 when none planned)."""
+        if self.scheduled_experiments == 0:
+            return 1.0
+        return self.usable_experiments / self.scheduled_experiments
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing scheduled went unobserved."""
+        return (
+            self.usable_slots == self.scheduled_slots
+            and self.usable_experiments == self.scheduled_experiments
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and error messages."""
+        return (
+            f"coverage {self.slot_fraction:.1%} "
+            f"({self.usable_slots}/{self.scheduled_slots} slots, "
+            f"{self.usable_experiments}/{self.scheduled_experiments} experiments)"
+        )
+
+
 @dataclass
 class MeasurementLog:
     """Everything one BADABING run produced, for estimation and debugging."""

@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.records import ExperimentOutcome
+from repro.core.records import CoverageReport, ExperimentOutcome
 from repro.errors import ConfigurationError
 
 
@@ -130,6 +130,36 @@ class GeometricSchedule:
             else:
                 outcomes.append(ExperimentOutcome(experiment.start_slot, tuple(bits)))
         return outcomes
+
+    def coverage_from_states(self, slot_states: Dict[int, bool]) -> CoverageReport:
+        """Quantify how much of the plan the marked states actually cover."""
+        return coverage_report(self.experiments, slot_states)
+
+
+def coverage_report(
+    experiments: Sequence[Experiment], slot_states: Dict[int, bool]
+) -> CoverageReport:
+    """Scheduled-vs-usable accounting for any experiment plan.
+
+    A slot is *usable* when the marking produced a state for it; an
+    experiment is usable when every slot it spans is. Shared by the live
+    tool (:class:`GeometricSchedule`) and offline traces
+    (:class:`repro.io.traces.Measurement`).
+    """
+    scheduled: set = set()
+    usable_experiments = 0
+    for experiment in experiments:
+        slots = experiment.slots
+        scheduled.update(slots)
+        if all(slot in slot_states for slot in slots):
+            usable_experiments += 1
+    usable_slots = sum(1 for slot in scheduled if slot in slot_states)
+    return CoverageReport(
+        scheduled_slots=len(scheduled),
+        usable_slots=usable_slots,
+        scheduled_experiments=len(experiments),
+        usable_experiments=usable_experiments,
+    )
 
 
 def outcomes_from_true_states(

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.core.estimators import count_patterns
-from repro.core.records import ExperimentOutcome
+from repro.core.records import CoverageReport, ExperimentOutcome
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,9 @@ class ValidationReport:
     n110: int
     n010: int
     n101: int
+    #: Plan-vs-observed accounting for degraded measurements (None when
+    #: the validation was run without knowledge of the schedule).
+    coverage: Optional[CoverageReport] = None
 
     # ------------------------------------------------------------- derived
     @property
@@ -90,14 +93,23 @@ class ValidationReport:
         max_asymmetry: float = 0.3,
         max_violation_rate: float = 0.05,
         min_transitions: int = 10,
+        min_coverage: float = 0.0,
     ) -> bool:
         """Overall pass/fail judgement with tunable thresholds.
 
         A measurement with too few observed transitions is *not* failed —
         it is simply inconclusive (and the duration estimate will be
         invalid anyway); symmetry is only judged once ``min_transitions``
-        transitions have been seen.
+        transitions have been seen. ``min_coverage`` (a fraction of
+        scheduled slots) fails measurements whose degraded coverage is
+        known and below the bar.
         """
+        if (
+            min_coverage > 0
+            and self.coverage is not None
+            and self.coverage.slot_fraction < min_coverage
+        ):
+            return False
         if self.violation_rate > max_violation_rate:
             return False
         if self.transition_count >= min_transitions:
@@ -106,7 +118,10 @@ class ValidationReport:
         return True
 
 
-def validate_outcomes(outcomes: Iterable[ExperimentOutcome]) -> ValidationReport:
+def validate_outcomes(
+    outcomes: Iterable[ExperimentOutcome],
+    coverage: Optional[CoverageReport] = None,
+) -> ValidationReport:
     """Build a :class:`ValidationReport` from measured outcomes."""
     counter = count_patterns(outcomes)
     return ValidationReport(
@@ -119,6 +134,7 @@ def validate_outcomes(outcomes: Iterable[ExperimentOutcome]) -> ValidationReport
         n110=counter.get("110", 0),
         n010=counter.get("010", 0),
         n101=counter.get("101", 0),
+        coverage=coverage,
     )
 
 

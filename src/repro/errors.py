@@ -16,6 +16,22 @@ class ConfigurationError(ReproError):
     """An object was configured with invalid or inconsistent parameters."""
 
 
+class FaultInjectionError(ConfigurationError):
+    """A fault-injection profile was invalid or attached inconsistently."""
+
+
+class TraceFormatError(ConfigurationError):
+    """A measurement trace file was malformed (bad JSON, missing fields).
+
+    Carries the offending 1-based line number when known, so diagnostics
+    can point at the exact corrupt record.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None):
+        super().__init__(message)
+        self.line_number = line_number
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 

@@ -2,24 +2,34 @@
 
 from repro.experiments.runner import (
     GroundTruth,
+    RunBudget,
+    RunOutcome,
     build_testbed,
     apply_scenario,
     compute_ground_truth,
     ground_truth_from_episodes,
     default_marking_for,
+    install_faults,
     run_badabing,
     run_badabing_multihop,
+    run_protected,
     run_zing,
+    sweep_badabing,
 )
 
 __all__ = [
     "GroundTruth",
+    "RunBudget",
+    "RunOutcome",
     "build_testbed",
     "apply_scenario",
     "compute_ground_truth",
     "ground_truth_from_episodes",
     "default_marking_for",
+    "install_faults",
     "run_badabing",
     "run_badabing_multihop",
+    "run_protected",
     "run_zing",
+    "sweep_badabing",
 ]

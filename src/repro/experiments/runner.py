@@ -15,9 +15,11 @@ user code stay declarative.
 
 from __future__ import annotations
 
+import time
+import traceback
 from dataclasses import dataclass
 from math import sqrt
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.analysis.episodes import LossEpisode, episodes_from_monitor
 from repro.analysis.slots import true_frequency
@@ -27,9 +29,10 @@ from repro.core.badabing import BadabingResult, BadabingTool
 from repro.core.clock import Clock
 from repro.core.jitter import JitterModel
 from repro.core.zing import ZingResult, ZingTool
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.experiments import scenarios as _scenarios
-from repro.net.simulator import Simulator
+from repro.net.faults import FaultInjector, FaultProfile, resolve_fault_profile
+from repro.net.simulator import Simulator, _stable_seed
 from repro.net.topology import DumbbellTestbed
 
 #: Extra simulated time after the measurement window so in-flight packets
@@ -174,6 +177,32 @@ def default_marking_for(p: float, slot: float) -> MarkingConfig:
     return MarkingConfig(alpha=alpha, tau=tau)
 
 
+def install_faults(
+    sim: Simulator,
+    testbed: DumbbellTestbed,
+    faults: Union[str, FaultProfile, None],
+    anchor: float = 0.0,
+    label: str = "path",
+) -> Optional[FaultInjector]:
+    """Attach a fault profile to a dumbbell testbed's measured path.
+
+    The injector sits on the *forward bottleneck link* (post-queue, so its
+    drops/reorderings/duplications are uncorrelated with congestion — the
+    noise the paper's estimators must tolerate) and on the probe receiver
+    host (collector outage windows). Times in the profile are authored
+    relative to the measurement start; ``anchor`` (normally the warmup
+    length) shifts them to absolute simulation time. Returns None when the
+    profile resolves to a no-op — the clean path stays byte-identical.
+    """
+    profile = resolve_fault_profile(faults)
+    if profile is None:
+        return None
+    injector = FaultInjector(sim, profile.shifted(anchor), label=label)
+    injector.attach_to_link(testbed.forward_link)
+    injector.attach_to_host(testbed.probe_receiver)
+    return injector
+
+
 def run_badabing(
     scenario: str,
     p: float,
@@ -188,13 +217,22 @@ def run_badabing(
     jitter: Optional[JitterModel] = None,
     sender_clock: Optional[Clock] = None,
     receiver_clock: Optional[Clock] = None,
+    faults: Union[str, FaultProfile, None] = None,
+    max_events: Optional[int] = None,
     keep: Optional[Dict[str, Any]] = None,
 ) -> Tuple[BadabingResult, GroundTruth]:
     """Full BADABING experiment: returns (tool result, ground truth).
 
     ``keep`` (if provided) is filled with the live objects (sim, testbed,
-    tool, traffic) so callers can do further analysis — e.g. re-mark the
-    same probe logs under different (alpha, tau) settings for Figure 9.
+    tool, traffic, fault_injector) so callers can do further analysis —
+    e.g. re-mark the same probe logs under different (alpha, tau) settings
+    for Figure 9.
+
+    ``faults`` (a profile name from :data:`repro.net.faults.FAULT_PROFILES`
+    or a :class:`~repro.net.faults.FaultProfile`) injects path impairments;
+    ``max_events`` caps the simulation's event budget, raising
+    :class:`~repro.errors.SimulationError` if the run does not complete
+    within it (so runaway cells are caught instead of hanging a sweep).
     """
     probe_cfg = probe if probe is not None else ProbeConfig()
     marking_cfg = marking if marking is not None else default_marking_for(p, probe_cfg.slot)
@@ -213,11 +251,32 @@ def run_badabing(
         sender_clock=sender_clock,
         receiver_clock=receiver_clock,
     )
-    sim.run(until=tool.end_time + DRAIN_TIME)
+    injector = install_faults(sim, testbed, faults, anchor=warmup)
+    dispatched = sim.run(until=tool.end_time + DRAIN_TIME, max_events=max_events)
+    if sim.budget_exhausted:
+        raise SimulationError(
+            f"event budget exhausted after {dispatched} events at "
+            f"t={sim.now:.3f}s (budget {max_events}, needed to reach "
+            f"t={tool.end_time + DRAIN_TIME:.3f}s)"
+        )
     truth = compute_ground_truth(testbed, probe_cfg.slot, warmup, config.duration)
-    result = tool.result()
+    # A real collector knows when it was down (its own restart log); feed
+    # the known outage windows back so those slots degrade coverage instead
+    # of masquerading as loss episodes.
+    blackouts = (
+        list(injector.profile.outage_windows)
+        if injector is not None and injector.profile.outage_windows
+        else None
+    )
+    result = tool.result(blackout_windows=blackouts)
     if keep is not None:
-        keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
+        keep.update(
+            sim=sim,
+            testbed=testbed,
+            tool=tool,
+            traffic=traffic,
+            fault_injector=injector,
+        )
     return result, truth
 
 
@@ -326,3 +385,190 @@ def run_zing(
     if keep is not None:
         keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
     return result, truth
+
+
+# ---------------------------------------------------------------------------
+# Protected runs: budgets, retries, and structured outcomes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Resource limits for one sweep cell.
+
+    Attributes
+    ----------
+    max_events:
+        Simulator event budget per attempt (None = unlimited). A run that
+        exhausts it raises :class:`~repro.errors.SimulationError`, which
+        the protected runner turns into a structured failure.
+    max_attempts:
+        Total tries per cell. Attempts after the first rerun with a fresh
+        seed derived deterministically from the original, so one unlucky
+        draw (or a budget-busting schedule) gets a bounded second chance.
+    max_wall_seconds:
+        Soft wall-clock budget across attempts: once exceeded, no further
+        retries are made (the in-flight attempt is never interrupted).
+    retry_on:
+        Exception types that trigger a retry; anything else derived from
+        :class:`~repro.errors.ReproError` is captured without retrying.
+    """
+
+    max_events: Optional[int] = None
+    max_attempts: int = 2
+    max_wall_seconds: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (SimulationError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.max_events is not None and self.max_events < 1:
+            raise ConfigurationError(
+                f"max_events must be >= 1, got {self.max_events}"
+            )
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one protected run: a result *or* a captured error.
+
+    A sweep over many cells returns a list of these; failed cells carry
+    the error class, message, and traceback instead of killing the sweep.
+    """
+
+    label: str
+    ok: bool
+    result: Optional[Any] = None
+    truth: Optional[GroundTruth] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    error_traceback: Optional[str] = None
+    attempts: int = 0
+    seeds: Tuple[int, ...] = ()
+    budget_exhausted: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    def describe(self) -> str:
+        """One-line summary for sweep logs."""
+        if self.ok:
+            return f"{self.label}: ok ({self.attempts} attempt(s))"
+        return (
+            f"{self.label}: FAILED after {self.attempts} attempt(s) — "
+            f"{self.error_type}: {self.error}"
+        )
+
+    def unwrap(self) -> Tuple[Any, Optional[GroundTruth]]:
+        """Return (result, truth), re-raising the captured error if failed."""
+        if not self.ok:
+            raise ReproError(
+                f"{self.label}: {self.error_type}: {self.error}"
+            )
+        return self.result, self.truth
+
+
+def derive_retry_seed(seed: int, attempt: int) -> int:
+    """Deterministic fresh seed for retry ``attempt`` (1-based) of ``seed``."""
+    return _stable_seed(seed, f"retry-{attempt}") % (1 << 31)
+
+
+def run_protected(
+    fn: Callable[..., Tuple[Any, GroundTruth]],
+    label: str = "run",
+    seed: int = 1,
+    budget: Optional[RunBudget] = None,
+    **kwargs: Any,
+) -> RunOutcome:
+    """Run one experiment cell under a budget, capturing failure as data.
+
+    ``fn`` is any runner entry point taking ``seed=`` and returning a
+    ``(result, truth)`` pair — :func:`run_badabing`, :func:`run_zing`,
+    :func:`run_badabing_multihop`, or user code with the same shape. If
+    ``fn`` accepts ``max_events``, pass it via ``kwargs`` or rely on the
+    budget's value being forwarded automatically for :func:`run_badabing`.
+    """
+    budget = budget if budget is not None else RunBudget()
+    if budget.max_events is not None and "max_events" not in kwargs:
+        kwargs = dict(kwargs, max_events=budget.max_events)
+    seeds: List[int] = []
+    started = time.monotonic()
+    last_error: Optional[BaseException] = None
+    budget_exhausted = False
+    for attempt in range(budget.max_attempts):
+        attempt_seed = seed if attempt == 0 else derive_retry_seed(seed, attempt)
+        seeds.append(attempt_seed)
+        try:
+            result, truth = fn(seed=attempt_seed, **kwargs)
+            return RunOutcome(
+                label=label,
+                ok=True,
+                result=result,
+                truth=truth,
+                attempts=attempt + 1,
+                seeds=tuple(seeds),
+                elapsed_seconds=time.monotonic() - started,
+            )
+        except ReproError as exc:
+            last_error = exc
+            if isinstance(exc, SimulationError) and "budget exhausted" in str(exc):
+                budget_exhausted = True
+            if not isinstance(exc, budget.retry_on):
+                break
+            if (
+                budget.max_wall_seconds is not None
+                and time.monotonic() - started >= budget.max_wall_seconds
+            ):
+                break
+    return RunOutcome(
+        label=label,
+        ok=False,
+        error=str(last_error),
+        error_type=type(last_error).__name__,
+        error_traceback="".join(
+            traceback.format_exception(
+                type(last_error), last_error, last_error.__traceback__
+            )
+        ),
+        attempts=len(seeds),
+        seeds=tuple(seeds),
+        budget_exhausted=budget_exhausted,
+        elapsed_seconds=time.monotonic() - started,
+    )
+
+
+def sweep_badabing(
+    cells: Sequence[Dict[str, Any]],
+    budget: Optional[RunBudget] = None,
+    **common: Any,
+) -> List[RunOutcome]:
+    """Run a whole grid of BADABING cells, never dying on one of them.
+
+    Each cell is a kwargs dict for :func:`run_badabing` (plus an optional
+    ``"label"``); ``common`` supplies shared kwargs (cells win on
+    conflict). Every cell yields a :class:`RunOutcome` — crashed or
+    budget-exhausted cells come back as structured failures, so a table
+    sweep always produces its full shape.
+    """
+    outcomes: List[RunOutcome] = []
+    for index, cell in enumerate(cells):
+        merged = dict(common, **cell)
+        label = merged.pop("label", None) or _cell_label(index, merged)
+        seed = merged.pop("seed", 1)
+        outcomes.append(
+            run_protected(
+                run_badabing, label=label, seed=seed, budget=budget, **merged
+            )
+        )
+    return outcomes
+
+
+def _cell_label(index: int, kwargs: Dict[str, Any]) -> str:
+    parts = [f"cell{index}"]
+    for key in ("scenario", "p", "n_slots", "faults"):
+        if key in kwargs and not isinstance(kwargs[key], FaultProfile):
+            parts.append(f"{key}={kwargs[key]}")
+    return " ".join(parts)

@@ -11,6 +11,7 @@ without re-running the simulation.
 
 from repro.io.traces import (
     Measurement,
+    TraceDiagnostic,
     load_measurement,
     reestimate,
     save_measurement,
@@ -18,6 +19,7 @@ from repro.io.traces import (
 
 __all__ = [
     "Measurement",
+    "TraceDiagnostic",
     "load_measurement",
     "reestimate",
     "save_measurement",

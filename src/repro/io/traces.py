@@ -25,14 +25,26 @@ from repro.core.badabing import BadabingResult, BadabingTool
 from repro.core.estimators import estimate_from_outcomes
 from repro.core.marking import CongestionMarker
 from repro.core.records import ExperimentOutcome, ProbeRecord
-from repro.core.schedule import Experiment
+from repro.core.schedule import Experiment, coverage_report
 from repro.core.validation import validate_outcomes
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceFormatError
 
 FORMAT_NAME = "badabing-trace"
 FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
+
+
+@dataclass
+class TraceDiagnostic:
+    """One corrupt line skipped while loading a trace in recovery mode."""
+
+    line_number: int
+    reason: str
+    snippet: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"line {self.line_number}: {self.reason} ({self.snippet})"
 
 
 @dataclass
@@ -45,6 +57,8 @@ class Measurement:
     experiments: List[Experiment]
     probes: List[ProbeRecord]
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Corrupt lines skipped by a recovery-mode load (empty otherwise).
+    diagnostics: List[TraceDiagnostic] = field(default_factory=list)
 
     def outcomes(self, slot_states: Dict[int, bool]) -> List[ExperimentOutcome]:
         """Assemble y_i values from marked slot states."""
@@ -117,46 +131,103 @@ def save_measurement(
             )
 
 
-def load_measurement(path: PathLike) -> Measurement:
-    """Read a measurement trace written by :func:`save_measurement`."""
-    with open(path, "r", encoding="utf-8") as handle:
+def _parse_probe_line(line: str) -> ProbeRecord:
+    """Decode one probe line; raises ValueError/KeyError/TypeError on rot."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError(f"expected a JSON object, got {type(record).__name__}")
+    return ProbeRecord(
+        slot=record["slot"],
+        send_time=record["t"],
+        n_packets=record["n"],
+        owds=tuple(record["owds"]),
+        owd_before_loss=record["obl"],
+    )
+
+
+def load_measurement(path: PathLike, recover: bool = False) -> Measurement:
+    """Read a measurement trace written by :func:`save_measurement`.
+
+    Parameters
+    ----------
+    path:
+        The JSONL trace file.
+    recover:
+        When False (default), the first corrupt probe line aborts the load
+        with a :class:`~repro.errors.TraceFormatError` naming the line.
+        When True, corrupt probe lines are *skipped* and recorded as
+        :class:`TraceDiagnostic` entries on the returned measurement — a
+        partially damaged trace still yields every intact record. The
+        header (line 1) is required in either mode: without it there is
+        no schedule to recover against.
+    """
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    with handle:
         header_line = handle.readline()
-        if not header_line:
-            raise ConfigurationError(f"{path}: empty trace file")
-        header = json.loads(header_line)
-        if header.get("type") != FORMAT_NAME:
-            raise ConfigurationError(
-                f"{path}: not a {FORMAT_NAME} file (type={header.get('type')!r})"
+        if not header_line.strip():
+            raise TraceFormatError(f"{path}: empty trace file", line_number=1)
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{path}: header is not valid JSON: {exc}", line_number=1
+            ) from exc
+        if not isinstance(header, dict) or header.get("type") != FORMAT_NAME:
+            kind = header.get("type") if isinstance(header, dict) else header
+            raise TraceFormatError(
+                f"{path}: not a {FORMAT_NAME} file (type={kind!r})", line_number=1
             )
         if header.get("version") != FORMAT_VERSION:
-            raise ConfigurationError(
-                f"{path}: unsupported trace version {header.get('version')!r}"
+            raise TraceFormatError(
+                f"{path}: unsupported trace version {header.get('version')!r}",
+                line_number=1,
             )
-        probes: List[ProbeRecord] = []
-        for line in handle:
+        try:
+            measurement = Measurement(
+                slot_width=header["slot_width"],
+                n_slots=header["n_slots"],
+                p=header["p"],
+                experiments=[
+                    Experiment(start, length)
+                    for start, length in header["experiments"]
+                ],
+                probes=[],
+                metadata=header.get("metadata", {}),
+            )
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise TraceFormatError(
+                f"{path}: malformed header: {exc!r}", line_number=1
+            ) from exc
+        for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            probes.append(
-                ProbeRecord(
-                    slot=record["slot"],
-                    send_time=record["t"],
-                    n_packets=record["n"],
-                    owds=tuple(record["owds"]),
-                    owd_before_loss=record["obl"],
+            try:
+                measurement.probes.append(_parse_probe_line(line))
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+                ConfigurationError,
+            ) as exc:
+                reason = (
+                    f"missing field {exc}" if isinstance(exc, KeyError) else str(exc)
                 )
-            )
-    return Measurement(
-        slot_width=header["slot_width"],
-        n_slots=header["n_slots"],
-        p=header["p"],
-        experiments=[
-            Experiment(start, length) for start, length in header["experiments"]
-        ],
-        probes=probes,
-        metadata=header.get("metadata", {}),
-    )
+                if not recover:
+                    raise TraceFormatError(
+                        f"{path}: corrupt probe record on line {line_number}: "
+                        f"{reason}",
+                        line_number=line_number,
+                    ) from exc
+                snippet = line if len(line) <= 80 else line[:77] + "..."
+                measurement.diagnostics.append(
+                    TraceDiagnostic(line_number, reason, snippet)
+                )
+    return measurement
 
 
 def reestimate(
@@ -164,11 +235,18 @@ def reestimate(
     marking: Optional[MarkingConfig] = None,
     improved: Optional[bool] = None,
 ) -> BadabingResult:
-    """Offline §6.1 marking + §5 estimation over a loaded trace."""
+    """Offline §6.1 marking + §5 estimation over a loaded trace.
+
+    Degrades like the live tool: partial traces (recovery-mode loads,
+    receiver outages) produce an estimate with a sub-unity coverage
+    report; a trace with no usable experiments raises
+    :class:`~repro.errors.EstimationError` describing the coverage.
+    """
     marker = CongestionMarker(marking)
     marked = marker.mark(measurement.probes)
     outcomes = measurement.outcomes(marked.slot_states)
-    estimate = estimate_from_outcomes(outcomes, improved=improved)
+    coverage = coverage_report(measurement.experiments, marked.slot_states)
+    estimate = estimate_from_outcomes(outcomes, improved=improved, coverage=coverage)
     probe_slots = {probe.slot for probe in measurement.probes}
     # Probe load from the records themselves (sizes are not persisted, so
     # report packets/second x nominal 600 B unless metadata overrides).
@@ -181,11 +259,12 @@ def reestimate(
     )
     return BadabingResult(
         estimate=estimate,
-        validation=validate_outcomes(outcomes),
+        validation=validate_outcomes(outcomes, coverage=coverage),
         marking=marked,
         probes=measurement.probes,
         outcomes=outcomes,
         n_probes_sent=len(probe_slots),
         probe_load_bps=load_bps,
         slot_width=measurement.slot_width,
+        coverage=coverage,
     )

@@ -11,7 +11,9 @@ This subpackage is the substrate that replaces the paper's hardware testbed
 * :mod:`repro.net.topology` — topology builders, including the dumbbell
   testbed replica of the paper's Figure 3,
 * :mod:`repro.net.monitor` — DAG-equivalent lossless queue taps used to
-  establish ground truth.
+  establish ground truth,
+* :mod:`repro.net.faults` — deterministic, composable fault injection
+  (drop, bursty loss, reordering, duplication, flaps, collector outages).
 """
 
 from repro.net.simulator import Simulator
@@ -22,8 +24,20 @@ from repro.net.node import Host, Router, Node
 from repro.net.topology import Topology, DumbbellTestbed
 from repro.net.multihop import MultiHopTestbed
 from repro.net.monitor import QueueMonitor, QueueSampler
+from repro.net.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    FaultStats,
+    resolve_fault_profile,
+)
 
 __all__ = [
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultStats",
+    "resolve_fault_profile",
     "Simulator",
     "Packet",
     "DropTailQueue",

@@ -76,11 +76,21 @@ class Link:
         self.random_loss = random_loss
         self.randomly_lost = 0
         self._loss_rng = sim.rng(f"linkloss-{name}") if random_loss > 0 else None
+        #: Optional fault injector (see :mod:`repro.net.faults`); None means
+        #: the delivery path is exactly the clean store-and-forward path.
+        self._fault_injector = None
 
     # ----------------------------------------------------------------- wiring
     def connect(self, receiver: Receiver) -> None:
         """Set the far-end delivery callback (a node's receive method)."""
         self._receiver = receiver
+
+    def set_fault_injector(self, injector) -> None:
+        """Route deliveries through a :class:`~repro.net.faults.FaultInjector`.
+
+        Pass None to restore the clean delivery path.
+        """
+        self._fault_injector = injector
 
     def set_random_loss(self, probability: float) -> None:
         """Enable/disable uncorrelated per-packet loss on this link."""
@@ -123,7 +133,10 @@ class Link:
         if self._loss_rng is not None and self._loss_rng.random() < self.random_loss:
             self.randomly_lost += 1
         elif self._receiver is not None:
-            self.sim.schedule(self.delay, self._receiver, packet)
+            if self._fault_injector is not None:
+                self._fault_injector.deliver(packet, self._receiver, self.delay)
+            else:
+                self.sim.schedule(self.delay, self._receiver, packet)
         self._start_next()
 
     @property

@@ -13,7 +13,7 @@ declared links.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import RoutingError
 from repro.net.link import Link
@@ -22,6 +22,9 @@ from repro.net.simulator import Simulator
 
 #: Application delivery callback: (packet) -> None.
 AppReceiver = Callable[[Packet], None]
+
+#: Inbound admission filter: (packet) -> keep? False silently discards.
+InboundFilter = Callable[[Packet], bool]
 
 
 class Node:
@@ -78,6 +81,14 @@ class Host(Node):
         self._apps: Dict[Tuple[str, int], AppReceiver] = {}
         #: Local deliveries that found no bound application.
         self.undeliverable = 0
+        #: Optional admission filter (e.g. a fault injector's collector
+        #: outage); local deliveries it rejects are counted here.
+        self._inbound_filter: Optional[InboundFilter] = None
+        self.filtered_inbound = 0
+
+    def set_inbound_filter(self, filter_fn: Optional[InboundFilter]) -> None:
+        """Install (or clear, with None) an inbound admission filter."""
+        self._inbound_filter = filter_fn
 
     def bind(self, protocol: str, port: int, receiver: AppReceiver) -> None:
         """Register an application receive callback for (protocol, port)."""
@@ -93,6 +104,9 @@ class Host(Node):
     def receive(self, packet: Packet) -> None:
         if packet.dst != self.name:
             self.forward(packet)
+            return
+        if self._inbound_filter is not None and not self._inbound_filter(packet):
+            self.filtered_inbound += 1
             return
         receiver = self._apps.get((packet.protocol, packet.port))
         if receiver is None:

@@ -68,6 +68,10 @@ class Simulator:
         self._rngs: Dict[str, random.Random] = {}
         #: Number of events dispatched so far (for performance reporting).
         self.events_processed = 0
+        #: True when the most recent :meth:`run` stopped because it hit its
+        #: ``max_events`` budget (rather than draining or reaching ``until``).
+        #: Runaway simulations are detectable by checking this after run().
+        self.budget_exhausted = False
 
     # ------------------------------------------------------------------ time
     @property
@@ -109,16 +113,22 @@ class Simulator:
         return event
 
     # ------------------------------------------------------------------- run
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Dispatch events until the queue empties or ``until`` is reached.
 
         ``until`` is inclusive: events scheduled exactly at ``until`` fire.
         At return, the clock is advanced to ``until`` (if given), even if the
         queue drained earlier, so repeated ``run`` calls compose naturally.
+
+        Returns the number of events dispatched by this call. When the call
+        stops because ``max_events`` was exhausted (with work still pending),
+        :attr:`budget_exhausted` is set so callers can tell a completed run
+        from a truncated one.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        self.budget_exhausted = False
         queue = self._queue
         dispatched = 0
         try:
@@ -133,12 +143,21 @@ class Simulator:
                 event.callback(*event.args)
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
+                    self.budget_exhausted = self._has_runnable(until)
                     break
         finally:
             self._running = False
             self.events_processed += dispatched
-        if until is not None and self._now < until:
+        if until is not None and self._now < until and not self.budget_exhausted:
             self._now = until
+        return dispatched
+
+    def _has_runnable(self, until: Optional[float]) -> bool:
+        """Whether any live event remains that this run() would still fire."""
+        return any(
+            not event.cancelled and (until is None or event.time <= until)
+            for event in self._queue
+        )
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""

@@ -81,11 +81,11 @@ def test_measure_save_and_analyze_round_trip(tmp_path, capsys):
     assert "N=4000" in out
 
 
-def test_analyze_rejects_garbage(tmp_path):
+def test_analyze_rejects_garbage(tmp_path, capsys):
     bogus = tmp_path / "bogus.jsonl"
     bogus.write_text('{"type": "nope"}\n')
-    import pytest as _pytest
-    from repro.errors import ConfigurationError
-
-    with _pytest.raises(ConfigurationError):
-        main(["analyze", str(bogus)])
+    # Structured errors exit with a clean diagnostic, not a traceback.
+    assert main(["analyze", str(bogus)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "badabing-trace" in err or "nope" in err

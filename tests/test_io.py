@@ -113,3 +113,118 @@ def test_save_measurement_object_directly(finished_tool, tmp_path):
     save_measurement(path, measurement, metadata={"b": 2})
     loaded = load_measurement(path)
     assert loaded.metadata == {"a": 1, "b": 2}
+
+
+# ---------------------------------------------------------------------------
+# Corrupt traces: TraceFormatError + recovery mode
+# ---------------------------------------------------------------------------
+
+def _corrupt_lines(path, line_numbers, replacement="{not json !!\n"):
+    """Overwrite the given 1-based lines of a JSONL file."""
+    lines = open(path).readlines()
+    for number in line_numbers:
+        lines[number - 1] = replacement
+    with open(path, "w") as handle:
+        handle.writelines(lines)
+
+
+def test_corrupt_probe_line_raises_trace_format_error(finished_tool, tmp_path):
+    from repro.errors import TraceFormatError
+
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    _corrupt_lines(path, [3])
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_measurement(path)
+    assert excinfo.value.line_number == 3
+    assert "line 3" in str(excinfo.value)
+    # and it is catchable as the legacy ConfigurationError
+    with pytest.raises(ConfigurationError):
+        load_measurement(path)
+
+
+def test_missing_field_raises_trace_format_error_not_key_error(
+    finished_tool, tmp_path
+):
+    from repro.errors import TraceFormatError
+
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    _corrupt_lines(path, [2], '{"slot": 1, "t": 0.5}\n')  # missing n/owds/obl
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_measurement(path)
+    assert excinfo.value.line_number == 2
+
+
+def test_recovery_mode_skips_corrupt_lines_with_diagnostics(
+    finished_tool, tmp_path
+):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    total_probes = len(measurement_from_tool(finished_tool).probes)
+    assert total_probes > 4
+    _corrupt_lines(path, [3])
+    _corrupt_lines(path, [5], '{"slot": 2, "t": 1.0}\n')
+    loaded = load_measurement(path, recover=True)
+    assert len(loaded.probes) == total_probes - 2
+    assert [diag.line_number for diag in loaded.diagnostics] == [3, 5]
+    assert all(diag.reason for diag in loaded.diagnostics)
+    assert all(diag.snippet for diag in loaded.diagnostics)
+
+
+def test_recovered_trace_reestimates_with_degraded_coverage(
+    finished_tool, tmp_path
+):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    _corrupt_lines(path, [2])
+    loaded = load_measurement(path, recover=True)
+    result = reestimate(loaded, marking=finished_tool.config.marking)
+    assert result.coverage is not None
+    assert result.coverage.usable_slots <= result.coverage.scheduled_slots
+    full = reestimate(load_measurement_clean(finished_tool, tmp_path))
+    assert result.coverage.usable_slots <= full.coverage.usable_slots
+
+
+def load_measurement_clean(finished_tool, tmp_path):
+    path = tmp_path / "clean.jsonl"
+    save_measurement(path, finished_tool)
+    return load_measurement(path)
+
+
+def test_missing_trace_file_raises_trace_format_error(tmp_path):
+    from repro.errors import TraceFormatError
+
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_measurement(tmp_path / "no-such-trace.jsonl")
+    assert "cannot read trace" in str(excinfo.value)
+
+
+def test_recovery_does_not_hide_header_corruption(tmp_path):
+    from repro.errors import TraceFormatError
+
+    path = tmp_path / "bad-header.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_measurement(path, recover=True)
+    assert excinfo.value.line_number == 1
+
+
+def test_clean_trace_loads_identically_in_recovery_mode(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    strict = load_measurement(path)
+    recovered = load_measurement(path, recover=True)
+    assert recovered.probes == strict.probes
+    assert recovered.experiments == strict.experiments
+    assert recovered.diagnostics == []
+
+
+def test_reestimate_attaches_full_coverage_on_clean_trace(finished_tool, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_measurement(path, finished_tool)
+    result = reestimate(load_measurement(path), marking=finished_tool.config.marking)
+    assert result.coverage is not None
+    assert result.coverage.complete
+    assert result.estimate.coverage is result.coverage
+    assert result.validation.coverage is result.coverage

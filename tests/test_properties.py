@@ -298,3 +298,165 @@ def test_zing_run_grouping_partitions_losses(lost, seed):
     sent_times = tool.sender.sent
     for _start, end, _count in result.loss_runs:
         assert end <= max(sent_times.values())
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation invariants (fault-injection PR)
+# ---------------------------------------------------------------------------
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.core.records import CoverageReport
+from repro.errors import EstimationError
+from repro.net.faults import FaultProfile
+from repro.net.node import Host
+from repro.net.simulator import Simulator
+
+_REPLAY_CACHE = {}
+
+
+def _finished_badabing_tool():
+    """One small finished measurement, shared across examples (read-only)."""
+    if not _REPLAY_CACHE:
+        from repro.config import BadabingConfig
+        from repro.core.badabing import BadabingTool
+        from repro.experiments.runner import DRAIN_TIME, apply_scenario, build_testbed
+
+        sim, testbed = build_testbed(seed=21)
+        apply_scenario(
+            sim, testbed, "episodic_cbr",
+            episode_durations=(0.068,), mean_spacing=2.0,
+        )
+        config = BadabingConfig(p=0.4, n_slots=2000)
+        tool = BadabingTool(
+            sim, testbed.probe_sender, testbed.probe_receiver, config, start=2.0
+        )
+        sim.run(until=tool.end_time + DRAIN_TIME)
+        _REPLAY_CACHE["tool"] = tool
+        _REPLAY_CACHE["baseline"] = tool.result()
+    return _REPLAY_CACHE["tool"], _REPLAY_CACHE["baseline"]
+
+
+class _ReplayClock(Clock):
+    """Clock whose reading is set explicitly by the replay loop."""
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0.0
+
+    def read(self, true_time):
+        return self.value
+
+
+def _replay_receiver():
+    from repro.core.badabing import _ProbeReceiver
+
+    sim = Simulator(seed=1)
+    host = Host(sim, "replay")
+    return _ProbeReceiver(sim, host, _ReplayClock())
+
+
+@given(shuffle_seed=st.integers(0, 2**32), n_dups=st.integers(0, 15))
+@settings(max_examples=15, deadline=None)
+def test_estimate_invariant_under_log_shuffle_and_duplication(shuffle_seed, n_dups):
+    """Replaying the receiver log in any order, with duplicate copies
+    injected anywhere after their originals, rebuilds the same log and
+    yields a bit-identical estimate."""
+    tool, baseline = _finished_badabing_tool()
+    original = dict(tool.receiver.received)
+    entries = list(original.items())
+    rng = random.Random(shuffle_seed)
+    order = list(entries)
+    rng.shuffle(order)
+    n_dups = min(n_dups, len(entries))
+    dup_entries = [rng.choice(entries) for _ in range(n_dups)] if entries else []
+
+    events = [(key, stamp, False) for key, stamp in order]
+    for key, stamp in dup_entries:
+        # A duplicate copy always trails its original in delivery order
+        # (the copy is scheduled with extra lag), but may interleave with
+        # anything else.
+        origin = next(
+            i for i, (k, _s, is_dup) in enumerate(events) if k == key and not is_dup
+        )
+        events.insert(rng.randint(origin + 1, len(events)), (key, stamp + 5e-4, True))
+
+    replay = _replay_receiver()
+    for key, stamp, _is_dup in events:
+        replay.clock.value = stamp
+        replay.on_packet(SimpleNamespace(payload=(key[0], key[1], 0.0)))
+
+    assert replay.received == original
+    assert replay.duplicate_arrivals == len(dup_entries)
+
+    tool.receiver.received = replay.received
+    try:
+        shuffled = tool.result()
+    finally:
+        tool.receiver.received = original
+    assert shuffled.frequency == baseline.frequency
+    assert shuffled.estimate.counts == baseline.estimate.counts
+    assert shuffled.outcomes == baseline.outcomes
+    assert shuffled.probes == baseline.probes
+
+
+@given(outcomes=st.lists(outcome_strategy, max_size=60))
+def test_estimation_raises_estimation_error_never_arithmetic(outcomes):
+    """Arbitrary (possibly empty) outcome lists either estimate cleanly or
+    raise EstimationError — never ZeroDivisionError/KeyError."""
+    try:
+        estimate = estimate_from_outcomes(outcomes)
+    except EstimationError:
+        assert outcomes == []
+    else:
+        assert math.isfinite(estimate.frequency)
+        assert 0.0 <= estimate.frequency <= 1.0
+
+
+@given(outcomes=st.lists(outcome_strategy, max_size=30))
+def test_validation_tolerates_empty_and_partial_outcomes(outcomes):
+    report = validate_outcomes(outcomes)
+    assert 0.0 <= report.transition_asymmetry <= 1.0
+    assert report.violation_rate >= 0.0
+    assert report.is_acceptable() in (True, False)
+
+
+@given(
+    scheduled_slots=st.integers(1, 2000),
+    scheduled_experiments=st.integers(0, 1000),
+)
+def test_zero_coverage_estimation_error_reports_coverage(
+    scheduled_slots, scheduled_experiments
+):
+    coverage = CoverageReport(scheduled_slots, 0, scheduled_experiments, 0)
+    with pytest.raises(EstimationError) as excinfo:
+        estimate_from_outcomes([], coverage=coverage)
+    message = str(excinfo.value)
+    assert "coverage" in message
+    assert "0.0%" in message
+
+
+@given(
+    offset=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    drop=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_fault_profile_shift_preserves_semantics(offset, drop):
+    profile = FaultProfile(
+        drop_probability=drop,
+        flap_down=1.0,
+        flap_up=2.0,
+        flap_start=5.0,
+        outage_windows=((1.0, 2.0), (4.0, 6.0)),
+    )
+    shifted = profile.shifted(offset)
+    assert shifted.is_noop == profile.is_noop
+    assert shifted.needs_rng == profile.needs_rng
+    assert shifted.flap_start == pytest.approx(5.0 + offset)
+    for (start, end), (orig_start, orig_end) in zip(
+        shifted.outage_windows, profile.outage_windows
+    ):
+        assert start == pytest.approx(orig_start + offset)
+        assert end == pytest.approx(orig_end + offset)

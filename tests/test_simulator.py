@@ -154,3 +154,53 @@ def test_reentrant_run_rejected():
     sim.schedule(0.1, nested)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_run_returns_dispatch_count():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    assert sim.run() == 5
+    assert sim.run() == 0  # drained
+
+
+def test_budget_exhaustion_is_exposed():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    dispatched = sim.run(max_events=4)
+    assert dispatched == 4
+    assert sim.budget_exhausted
+    # Finishing the queue clears the flag.
+    assert sim.run() == 6
+    assert not sim.budget_exhausted
+
+
+def test_budget_exactly_sufficient_is_not_exhausted():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run(max_events=4)
+    assert not sim.budget_exhausted
+
+
+def test_budget_with_until_ignores_events_beyond_until():
+    sim = Simulator()
+    sim.schedule(0.1, lambda: None)
+    sim.schedule(5.0, lambda: None)  # beyond until: not runnable this call
+    sim.run(until=1.0, max_events=1)
+    assert not sim.budget_exhausted
+    assert sim.now == 1.0
+
+
+def test_exhausted_run_does_not_jump_clock_past_pending_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, fired.append, 1)
+    sim.schedule(0.2, fired.append, 2)
+    sim.run(until=1.0, max_events=1)
+    assert sim.budget_exhausted
+    assert sim.now == pytest.approx(0.1)  # not advanced to until
+    sim.run(until=1.0)
+    assert fired == [1, 2]
+    assert sim.now == 1.0
