@@ -1,0 +1,60 @@
+"""Observability overhead guard: enabled registry vs NullRegistry.
+
+The instrumentation layer promises to be cheap enough to leave on by
+default. This benchmark runs the same short BADABING experiment under a
+:class:`~repro.obs.metrics.NullRegistry` (hot paths skip all
+instrumentation) and a live :class:`~repro.obs.metrics.MetricsRegistry`,
+takes the min of several timed repetitions each (min-of-N is robust to
+scheduler noise), and fails if the enabled registry costs more than 10%
+extra wall time. It also cross-checks that both modes produce identical
+estimates — instrumentation must never perturb the simulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.runner import run_badabing
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+RUN_KWARGS = dict(
+    scenario="episodic_cbr",
+    p=0.3,
+    n_slots=2000,
+    seed=3,
+    warmup=2.0,
+    scenario_kwargs={"mean_spacing": 2.0},
+)
+
+REPEATS = 3
+MAX_OVERHEAD = 1.10
+
+
+def _time_run(registry_factory):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        registry = registry_factory()
+        started = time.perf_counter()
+        result, truth = run_badabing(metrics=registry, **RUN_KWARGS)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best, result
+
+
+def test_enabled_registry_overhead_within_budget(archive):
+    null_s, null_result = _time_run(NullRegistry)
+    live_s, live_result = _time_run(MetricsRegistry)
+    ratio = live_s / null_s
+    report = (
+        f"observability overhead ({RUN_KWARGS['n_slots']} slots, "
+        f"min of {REPEATS}):\n"
+        f"  NullRegistry:    {null_s * 1e3:8.1f} ms\n"
+        f"  MetricsRegistry: {live_s * 1e3:8.1f} ms\n"
+        f"  ratio:           {ratio:8.3f}x (budget {MAX_OVERHEAD:.2f}x)"
+    )
+    archive("bench_obs_overhead", report)
+    # Instrumentation must not perturb the measurement itself.
+    assert live_result.frequency == null_result.frequency
+    assert live_result.n_probes_sent == null_result.n_probes_sent
+    assert ratio <= MAX_OVERHEAD, report

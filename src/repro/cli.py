@@ -7,6 +7,7 @@ Subcommands:
 * ``zing`` — run the Poisson baseline the same way;
 * ``table`` — reproduce one of the paper's tables (1-8);
 * ``figure`` — reproduce one of the paper's figures (4-9b);
+* ``obs`` — summarize or validate exported metrics/trace files;
 * ``list`` — show available scenarios, tables, and figures.
 """
 
@@ -24,6 +25,7 @@ from repro.experiments import tables as _tables
 from repro.experiments.profiles import PROFILES, active_profile
 from repro.experiments.runner import SCENARIOS, run_badabing, run_zing
 from repro.net.faults import FAULT_PROFILES as _FAULT_PROFILES
+from repro.obs import MetricsRegistry, Tracer, write_metrics_document
 
 
 def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
@@ -39,10 +41,29 @@ def _resolve_profile(name: Optional[str]):
     return PROFILES[name] if name else active_profile()
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default="",
+        help="write the run's metrics + manifest as JSON to this path",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        help="write wall-clock phase spans as JSONL to this path",
+    )
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
     profile = _resolve_profile(args.profile)
     n_slots = args.slots if args.slots else profile.n_slots
     keep = {}
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = (
+        Tracer(tool="badabing", scenario=args.scenario, seed=args.seed)
+        if args.trace_out
+        else None
+    )
     result, truth = run_badabing(
         args.scenario,
         p=args.p,
@@ -51,8 +72,16 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         improved=args.improved,
         warmup=profile.warmup,
         faults=args.faults if args.faults != "none" else None,
+        metrics=metrics,
+        tracer=tracer,
         keep=keep,
     )
+    if args.metrics_out:
+        write_metrics_document(args.metrics_out, metrics, result.manifest)
+        print(f"metrics written to {args.metrics_out}")
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     if args.save:
         from repro.io import save_measurement
 
@@ -100,6 +129,12 @@ def _print_degraded_summary(result, injector) -> None:
 
 def _cmd_zing(args: argparse.Namespace) -> int:
     profile = _resolve_profile(args.profile)
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = (
+        Tracer(tool="zing", scenario=args.scenario, seed=args.seed)
+        if args.trace_out
+        else None
+    )
     result, truth = run_zing(
         args.scenario,
         mean_interval=1.0 / args.rate,
@@ -107,7 +142,15 @@ def _cmd_zing(args: argparse.Namespace) -> int:
         duration=args.duration if args.duration else profile.tool_duration,
         seed=args.seed,
         warmup=profile.warmup,
+        metrics=metrics,
+        tracer=tracer,
     )
+    if args.metrics_out:
+        write_metrics_document(args.metrics_out, metrics, result.manifest)
+        print(f"metrics written to {args.metrics_out}")
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     print(f"scenario={args.scenario} rate={args.rate}Hz size={args.size}B")
     print(f"probes sent: {result.n_sent}  lost: {result.n_lost}")
     print(f"loss frequency: true={truth.frequency:.4f}  reported={result.frequency:.4f}")
@@ -203,6 +246,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs import load_metrics_document, render_summary
+    from repro.obs.schema import validate_trace_file
+
+    document = load_metrics_document(args.metrics)
+    trace_lines = None
+    if args.trace:
+        import json
+
+        from repro.errors import ObservabilityError
+
+        try:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                trace_lines = [json.loads(line) for line in handle if line.strip()]
+        except OSError as exc:
+            raise ObservabilityError(f"cannot read trace {args.trace}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"{args.trace}: invalid JSON ({exc.msg})")
+        problems = validate_trace_file(args.trace)
+        if problems:
+            print(f"warning: trace has {len(problems)} schema problem(s)", file=sys.stderr)
+    print(render_summary(document, trace_lines))
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs.schema import validate_metrics_document, validate_trace_file
+
+    import json
+
+    failures = 0
+    try:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.metrics}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.metrics}: invalid JSON ({exc.msg})", file=sys.stderr)
+        return 2
+    problems = validate_metrics_document(document)
+    for problem in problems:
+        print(f"{args.metrics}: {problem}", file=sys.stderr)
+    failures += len(problems)
+    if args.trace:
+        trace_problems = validate_trace_file(args.trace)
+        for problem in trace_problems:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        failures += len(trace_problems)
+    if failures:
+        print(f"validation FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print("validation OK")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("scenarios:", ", ".join(sorted(SCENARIOS)))
     print("tables:   ", ", ".join(sorted(_tables.ALL_TABLES)))
@@ -233,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="inject a named fault profile on the measured path",
     )
+    _add_obs_arguments(measure)
     _add_profile_argument(measure)
     measure.set_defaults(handler=_cmd_measure)
 
@@ -255,8 +355,30 @@ def build_parser() -> argparse.ArgumentParser:
     zing.add_argument("--size", type=int, default=256, help="probe size in bytes")
     zing.add_argument("--duration", type=float, default=0.0, help="seconds of probing")
     zing.add_argument("--seed", type=int, default=1)
+    _add_obs_arguments(zing)
     _add_profile_argument(zing)
     zing.set_defaults(handler=_cmd_zing)
+
+    obs = commands.add_parser(
+        "obs", help="inspect exported observability artifacts"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_commands.add_parser(
+        "summary", help="human-readable report from a metrics JSON document"
+    )
+    obs_summary.add_argument("metrics", help="path written by --metrics-out")
+    obs_summary.add_argument(
+        "--trace", default="", help="optional trace JSONL written by --trace-out"
+    )
+    obs_summary.set_defaults(handler=_cmd_obs_summary)
+    obs_validate = obs_commands.add_parser(
+        "validate", help="check metrics/trace files against the obs schemas"
+    )
+    obs_validate.add_argument("metrics", help="path written by --metrics-out")
+    obs_validate.add_argument(
+        "--trace", default="", help="optional trace JSONL written by --trace-out"
+    )
+    obs_validate.set_defaults(handler=_cmd_obs_validate)
 
     table = commands.add_parser("table", help="reproduce a paper table (1-8)")
     table.add_argument("number", type=int)

@@ -20,7 +20,7 @@ can attribute drops (used by the Figure 8 analysis of probe impact).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import BadabingConfig, MarkingConfig
 from repro.core.clock import Clock
@@ -32,9 +32,18 @@ from repro.core.schedule import GeometricSchedule
 from repro.core.validation import ValidationReport, validate_outcomes
 from repro.net.node import Host
 from repro.net.simulator import Simulator
+from repro.obs.tracing import trace_span
 from repro.traffic.base import Application, ephemeral_port
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.manifest import RunManifest
+    from repro.obs.tracing import Tracer
+
 PROBE_PROTOCOL = "probe"
+
+#: Buckets (seconds) for the probe launch-timing-error histogram: sub-slot
+#: resolution at the bottom, a whole slot and beyond at the top.
+TIMING_ERROR_BUCKETS = (1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 2.5e-2)
 
 
 class _ProbeSender(Application):
@@ -63,14 +72,34 @@ class _ProbeSender(Application):
         self.packets_per_probe = packets_per_probe
         self.intra_probe_gap = intra_probe_gap
         self.clock = clock
+        self.start = start
+        self.slot_width = slot_width
         #: (slot, packet index) -> (true send time, sender-clock timestamp).
         self.sent: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        metrics = sim.metrics
+        if metrics.enabled:
+            self._m_trains = metrics.counter("probe.trains_sent", tool="badabing")
+            self._m_packets = metrics.counter("probe.packets_sent", tool="badabing")
+            self._m_timing = metrics.histogram(
+                "probe.timing_error_seconds",
+                buckets=TIMING_ERROR_BUCKETS,
+                tool="badabing",
+            )
+        else:
+            self._m_trains = self._m_packets = self._m_timing = None
         rng = sim.rng(rng_label + "-jitter")
         for slot in schedule.probe_slots:
             nominal = start + slot * slot_width
             sim.schedule_at(nominal + jitter.sample(rng), self._emit_probe, slot)
 
     def _emit_probe(self, slot: int) -> None:
+        if self._m_trains is not None:
+            # Launch-timing error: how far jitter displaced this train from
+            # the nominal slot boundary the schedule asked for (§5's "probes
+            # at the start of every covered slot" assumption).
+            self._m_trains.inc()
+            nominal = self.start + slot * self.slot_width
+            self._m_timing.observe(abs(self.sim.now - nominal))
         for index in range(self.packets_per_probe):
             self.sim.schedule(index * self.intra_probe_gap, self._emit_packet, slot, index)
 
@@ -78,6 +107,8 @@ class _ProbeSender(Application):
         now = self.sim.now
         stamp = self.clock.read(now)
         self.sent[(slot, index)] = (now, stamp)
+        if self._m_packets is not None:
+            self._m_packets.inc()
         self.send_packet(
             self.dst,
             self.probe_size,
@@ -103,14 +134,35 @@ class _ProbeReceiver(Application):
         self.received: Dict[Tuple[int, int], float] = {}
         #: Arrivals discarded because the sequence number was already logged.
         self.duplicate_arrivals = 0
+        #: Arrivals whose sequence is older than one already seen — the
+        #: receiver-visible signature of in-network reordering.
+        self.late_arrivals = 0
+        self._max_key: Optional[Tuple[int, int]] = None
+        metrics = sim.metrics
+        if metrics.enabled:
+            self._m_received = metrics.counter("probe.packets_received", tool="badabing")
+            self._m_duplicates = metrics.counter("probe.duplicates", tool="badabing")
+            self._m_late = metrics.counter("probe.late_arrivals", tool="badabing")
+        else:
+            self._m_received = self._m_duplicates = self._m_late = None
 
     def on_packet(self, packet) -> None:
         slot, index, _stamp = packet.payload
         key = (slot, index)
         if key in self.received:
             self.duplicate_arrivals += 1
+            if self._m_duplicates is not None:
+                self._m_duplicates.inc()
             return
+        if self._max_key is None or key > self._max_key:
+            self._max_key = key
+        else:
+            self.late_arrivals += 1
+            if self._m_late is not None:
+                self._m_late.inc()
         self.received[key] = self.clock.read(self.sim.now)
+        if self._m_received is not None:
+            self._m_received.inc()
 
 
 @dataclass
@@ -129,6 +181,8 @@ class BadabingResult:
     coverage: Optional[CoverageReport] = None
     #: Receiver-side duplicate arrivals discarded during the log join.
     duplicate_arrivals: int = 0
+    #: Provenance + timing record (filled in by the experiment runner).
+    manifest: Optional["RunManifest"] = None
 
     @property
     def frequency(self) -> float:
@@ -164,10 +218,13 @@ class BadabingTool:
         sender_clock: Optional[Clock] = None,
         receiver_clock: Optional[Clock] = None,
         rng_label: str = "badabing",
+        tracer: Optional["Tracer"] = None,
     ):
         self.sim = sim
         self.config = config if config is not None else BadabingConfig()
         self.start = start
+        self.tracer = tracer
+        self._loss_recorded = False
         cfg = self.config
         self.schedule = GeometricSchedule(
             cfg.p, cfg.n_slots, sim.rng(rng_label + "-schedule"), improved=cfg.improved
@@ -276,7 +333,8 @@ class BadabingTool:
         :class:`~repro.errors.EstimationError` carrying the coverage.
         """
         if probes is None:
-            probes = self.probe_records()
+            with trace_span(self.tracer, "probe.join"):
+                probes = self.probe_records()
         if blackout_windows:
             probes = [
                 probe
@@ -285,17 +343,28 @@ class BadabingTool:
                     start <= probe.send_time < end for start, end in blackout_windows
                 )
             ]
+        if not self._loss_recorded and self.sim.metrics.enabled:
+            # Record receiver-side loss once (result() may be re-invoked to
+            # re-mark the same logs under other parameters).
+            self._loss_recorded = True
+            self.sim.metrics.counter("probe.packets_lost", tool="badabing").inc(
+                sum(probe.lost_packets for probe in probes)
+            )
         marker = CongestionMarker(marking) if marking is not None else self.marker
-        marked = marker.mark(probes)
+        with trace_span(self.tracer, "probe.mark", n_probes=len(probes)):
+            marked = marker.mark(probes)
         outcomes = self.schedule.outcomes_from_states(marked.slot_states)
         coverage = self.schedule.coverage_from_states(marked.slot_states)
-        estimate = estimate_from_outcomes(
-            outcomes, improved=self.config.improved, coverage=coverage
-        )
+        with trace_span(self.tracer, "probe.estimate"):
+            estimate = estimate_from_outcomes(
+                outcomes, improved=self.config.improved, coverage=coverage
+            )
         cfg = self.config
+        with trace_span(self.tracer, "probe.validate"):
+            validation = validate_outcomes(outcomes, coverage=coverage)
         return BadabingResult(
             estimate=estimate,
-            validation=validate_outcomes(outcomes, coverage=coverage),
+            validation=validation,
             marking=marked,
             probes=probes,
             outcomes=outcomes,

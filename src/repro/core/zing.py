@@ -66,6 +66,11 @@ class _StreamSender(Application):
         #: Per-flight grouping: flights[i] lists the seqs sent together
         #: (used by the Figure 7 probe-train analysis).
         self.flights: List[List[int]] = []
+        self._m_packets = (
+            sim.metrics.counter("probe.packets_sent", tool="zing")
+            if sim.metrics.enabled
+            else None
+        )
         sim.schedule_at(max(start, sim.now), self._tick)
 
     def _tick(self) -> None:
@@ -81,6 +86,8 @@ class _StreamSender(Application):
         self._seq += 1
         self.flights[group].append(self._seq)
         self.sent[self._seq] = self.sim.now
+        if self._m_packets is not None:
+            self._m_packets.inc()
         self.send_packet(
             self.dst,
             self.packet_size,
@@ -97,10 +104,17 @@ class _StreamReceiver(Application):
         super().__init__(sim, host, ZING_PROTOCOL, port)
         #: seq -> (send time, receive time).
         self.received: Dict[int, Tuple[float, float]] = {}
+        self._m_received = (
+            sim.metrics.counter("probe.packets_received", tool="zing")
+            if sim.metrics.enabled
+            else None
+        )
 
     def on_packet(self, packet) -> None:
         seq, send_time = packet.payload
         self.received[seq] = (send_time, self.sim.now)
+        if self._m_received is not None:
+            self._m_received.inc()
 
 
 @dataclass
@@ -114,6 +128,8 @@ class ZingResult:
     duration_mean: float
     duration_std: float
     mean_owd: float
+    #: Provenance + timing record (filled in by the experiment runner).
+    manifest: Optional[object] = None
 
     @property
     def frequency(self) -> float:
@@ -159,6 +175,8 @@ class ZingTool:
     ):
         if mean_interval <= 0:
             raise ConfigurationError(f"mean_interval must be positive: {mean_interval}")
+        self.sim = sim
+        self._loss_recorded = False
         rng = sim.rng(rng_label)
         if interval is None:
             interval = lambda: rng.expovariate(1.0 / mean_interval)  # noqa: E731
@@ -205,6 +223,9 @@ class ZingTool:
         durations = [last - first for first, last, _count in runs]
         duration_mean, duration_std = mean_std(durations)
         mean_owd = sum(owds) / len(owds) if owds else 0.0
+        if not self._loss_recorded and self.sim.metrics.enabled:
+            self._loss_recorded = True
+            self.sim.metrics.counter("probe.packets_lost", tool="zing").inc(n_lost)
         return ZingResult(
             n_sent=len(sent),
             n_lost=n_lost,

@@ -36,6 +36,30 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class BudgetExhaustedError(SimulationError):
+    """A run stopped because its event budget ran out with work pending.
+
+    Carries the progress the simulation made so sweep harnesses and logs
+    can report *where* the budget died, not just that it did.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        events_processed: int | None = None,
+        sim_time: float | None = None,
+        budget: int | None = None,
+    ):
+        super().__init__(message)
+        self.events_processed = events_processed
+        self.sim_time = sim_time
+        self.budget = budget
+
+
+class ObservabilityError(ReproError):
+    """A metrics/trace document was malformed or failed schema validation."""
+
+
 class RoutingError(SimulationError):
     """A packet could not be routed to its destination."""
 

@@ -29,11 +29,19 @@ from repro.core.badabing import BadabingResult, BadabingTool
 from repro.core.clock import Clock
 from repro.core.jitter import JitterModel
 from repro.core.zing import ZingResult, ZingTool
-from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
 from repro.experiments import scenarios as _scenarios
 from repro.net.faults import FaultInjector, FaultProfile, resolve_fault_profile
 from repro.net.simulator import Simulator, _stable_seed
 from repro.net.topology import DumbbellTestbed
+from repro.obs.manifest import RunManifest, config_digest, summarize_snapshot
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, trace_span
 
 #: Extra simulated time after the measurement window so in-flight packets
 #: drain and the tools' logs are complete.
@@ -51,11 +59,30 @@ def build_testbed(
     seed: int = 1,
     config: Optional[TestbedConfig] = None,
     sample_interval: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[Simulator, DumbbellTestbed]:
     """Fresh simulator + dumbbell testbed."""
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, metrics=metrics)
     testbed = DumbbellTestbed(sim, config=config, sample_interval=sample_interval)
     return sim, testbed
+
+
+def _build_manifest(
+    tool: str, seed: int, sim: Simulator, *configs: Any
+) -> RunManifest:
+    """Provenance record for one finished run (see repro.obs.manifest)."""
+    from repro import __version__
+
+    return RunManifest(
+        tool=tool,
+        seed=seed,
+        config_digest=config_digest(*configs),
+        package_version=__version__,
+        sim_seconds=sim.now,
+        wall_seconds=sim.wall_seconds,
+        events_processed=sim.events_processed,
+        metrics=summarize_snapshot(sim.metrics.snapshot()),
+    )
 
 
 def apply_scenario(
@@ -219,6 +246,8 @@ def run_badabing(
     receiver_clock: Optional[Clock] = None,
     faults: Union[str, FaultProfile, None] = None,
     max_events: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     keep: Optional[Dict[str, Any]] = None,
 ) -> Tuple[BadabingResult, GroundTruth]:
     """Full BADABING experiment: returns (tool result, ground truth).
@@ -231,16 +260,24 @@ def run_badabing(
     ``faults`` (a profile name from :data:`repro.net.faults.FAULT_PROFILES`
     or a :class:`~repro.net.faults.FaultProfile`) injects path impairments;
     ``max_events`` caps the simulation's event budget, raising
-    :class:`~repro.errors.SimulationError` if the run does not complete
+    :class:`~repro.errors.BudgetExhaustedError` if the run does not complete
     within it (so runaway cells are caught instead of hanging a sweep).
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) collects
+    the run's telemetry — on by default, pass a
+    :class:`~repro.obs.metrics.NullRegistry` to disable; ``tracer``
+    records wall-clock spans around each phase. The returned result
+    carries a :class:`~repro.obs.manifest.RunManifest`.
     """
     probe_cfg = probe if probe is not None else ProbeConfig()
     marking_cfg = marking if marking is not None else default_marking_for(p, probe_cfg.slot)
     config = BadabingConfig(
         probe=probe_cfg, marking=marking_cfg, p=p, n_slots=n_slots, improved=improved
     )
-    sim, testbed = build_testbed(seed=seed, config=testbed_config)
-    traffic = apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    with trace_span(tracer, "testbed.build", seed=seed):
+        sim, testbed = build_testbed(seed=seed, config=testbed_config, metrics=metrics)
+    with trace_span(tracer, "traffic.start", scenario=scenario):
+        traffic = apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
     tool = BadabingTool(
         sim,
         testbed.probe_sender,
@@ -250,16 +287,22 @@ def run_badabing(
         jitter=jitter,
         sender_clock=sender_clock,
         receiver_clock=receiver_clock,
+        tracer=tracer,
     )
     injector = install_faults(sim, testbed, faults, anchor=warmup)
-    dispatched = sim.run(until=tool.end_time + DRAIN_TIME, max_events=max_events)
+    with trace_span(tracer, "sim.run", until=tool.end_time + DRAIN_TIME):
+        dispatched = sim.run(until=tool.end_time + DRAIN_TIME, max_events=max_events)
     if sim.budget_exhausted:
-        raise SimulationError(
+        raise BudgetExhaustedError(
             f"event budget exhausted after {dispatched} events at "
             f"t={sim.now:.3f}s (budget {max_events}, needed to reach "
-            f"t={tool.end_time + DRAIN_TIME:.3f}s)"
+            f"t={tool.end_time + DRAIN_TIME:.3f}s)",
+            events_processed=dispatched,
+            sim_time=sim.now,
+            budget=max_events,
         )
-    truth = compute_ground_truth(testbed, probe_cfg.slot, warmup, config.duration)
+    with trace_span(tracer, "truth.extract"):
+        truth = compute_ground_truth(testbed, probe_cfg.slot, warmup, config.duration)
     # A real collector knows when it was down (its own restart log); feed
     # the known outage windows back so those slots degrade coverage instead
     # of masquerading as loss episodes.
@@ -268,7 +311,11 @@ def run_badabing(
         if injector is not None and injector.profile.outage_windows
         else None
     )
-    result = tool.result(blackout_windows=blackouts)
+    with trace_span(tracer, "tool.result"):
+        result = tool.result(blackout_windows=blackouts)
+    result.manifest = _build_manifest(
+        "badabing", seed, sim, config, testbed.config
+    )
     if keep is not None:
         keep.update(
             sim=sim,
@@ -291,6 +338,7 @@ def run_badabing_multihop(
     probe: Optional[ProbeConfig] = None,
     marking: Optional[MarkingConfig] = None,
     warmup: float = 10.0,
+    metrics: Optional[MetricsRegistry] = None,
     keep: Optional[Dict[str, Any]] = None,
 ) -> Tuple[BadabingResult, GroundTruth]:
     """BADABING across a chain of independently congested bottlenecks.
@@ -308,7 +356,7 @@ def run_badabing_multihop(
     config = BadabingConfig(
         probe=probe_cfg, marking=marking_cfg, p=p, n_slots=n_slots
     )
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, metrics=metrics)
     testbed = MultiHopTestbed(sim, n_hops=n_hops, config=testbed_config)
     cfg = testbed.config
     if mean_spacings is None:
@@ -346,6 +394,9 @@ def run_badabing_multihop(
         testbed.path_episodes(), loss_rate, probe_cfg.slot, warmup, config.duration
     )
     result = tool.result()
+    result.manifest = _build_manifest(
+        "badabing-multihop", seed, sim, config, testbed.config
+    )
     if keep is not None:
         keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
     return result, truth
@@ -361,6 +412,8 @@ def run_zing(
     testbed_config: Optional[TestbedConfig] = None,
     scenario_kwargs: Optional[Dict[str, Any]] = None,
     warmup: float = 10.0,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     keep: Optional[Dict[str, Any]] = None,
 ) -> Tuple[ZingResult, GroundTruth]:
     """Full ZING experiment: returns (tool result, ground truth).
@@ -368,8 +421,10 @@ def run_zing(
     ``slot`` only affects how the *truth* frequency is discretized; ZING
     itself is slot-free.
     """
-    sim, testbed = build_testbed(seed=seed, config=testbed_config)
-    traffic = apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
+    with trace_span(tracer, "testbed.build", seed=seed):
+        sim, testbed = build_testbed(seed=seed, config=testbed_config, metrics=metrics)
+    with trace_span(tracer, "traffic.start", scenario=scenario):
+        traffic = apply_scenario(sim, testbed, scenario, **(scenario_kwargs or {}))
     tool = ZingTool(
         sim,
         testbed.probe_sender,
@@ -379,9 +434,13 @@ def run_zing(
         duration=duration,
         start=warmup,
     )
-    sim.run(until=warmup + duration + DRAIN_TIME)
-    truth = compute_ground_truth(testbed, slot, warmup, duration)
-    result = tool.result()
+    with trace_span(tracer, "sim.run", until=warmup + duration + DRAIN_TIME):
+        sim.run(until=warmup + duration + DRAIN_TIME)
+    with trace_span(tracer, "truth.extract"):
+        truth = compute_ground_truth(testbed, slot, warmup, duration)
+    with trace_span(tracer, "tool.result"):
+        result = tool.result()
+    result.manifest = _build_manifest("zing", seed, sim, testbed.config)
     if keep is not None:
         keep.update(sim=sim, testbed=testbed, tool=tool, traffic=traffic)
     return result, truth
@@ -399,8 +458,8 @@ class RunBudget:
     ----------
     max_events:
         Simulator event budget per attempt (None = unlimited). A run that
-        exhausts it raises :class:`~repro.errors.SimulationError`, which
-        the protected runner turns into a structured failure.
+        exhausts it raises :class:`~repro.errors.BudgetExhaustedError`,
+        which the protected runner turns into a structured failure.
     max_attempts:
         Total tries per cell. Attempts after the first rerun with a fresh
         seed derived deterministically from the original, so one unlucky
@@ -514,7 +573,7 @@ def run_protected(
             )
         except ReproError as exc:
             last_error = exc
-            if isinstance(exc, SimulationError) and "budget exhausted" in str(exc):
+            if isinstance(exc, BudgetExhaustedError):
                 budget_exhausted = True
             if not isinstance(exc, budget.retry_on):
                 break
@@ -543,6 +602,8 @@ def run_protected(
 def sweep_badabing(
     cells: Sequence[Dict[str, Any]],
     budget: Optional[RunBudget] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     **common: Any,
 ) -> List[RunOutcome]:
     """Run a whole grid of BADABING cells, never dying on one of them.
@@ -552,17 +613,32 @@ def sweep_badabing(
     conflict). Every cell yields a :class:`RunOutcome` — crashed or
     budget-exhausted cells come back as structured failures, so a table
     sweep always produces its full shape.
+
+    When ``metrics`` is given, every cell's simulator feeds the same shared
+    registry and the sweep itself records per-status cell counts, retry
+    totals, and elapsed-time structure (``sweep.cells{status=...}``,
+    ``sweep.retries``); ``tracer`` adds one span per cell.
     """
     outcomes: List[RunOutcome] = []
     for index, cell in enumerate(cells):
         merged = dict(common, **cell)
         label = merged.pop("label", None) or _cell_label(index, merged)
         seed = merged.pop("seed", 1)
-        outcomes.append(
-            run_protected(
+        if metrics is not None and "metrics" not in merged:
+            merged["metrics"] = metrics
+        with trace_span(tracer, "sweep.cell", label=label, seed=seed):
+            outcome = run_protected(
                 run_badabing, label=label, seed=seed, budget=budget, **merged
             )
-        )
+        outcomes.append(outcome)
+        if metrics is not None and metrics.enabled:
+            status = "ok" if outcome.ok else (
+                "budget_exhausted" if outcome.budget_exhausted else "failed"
+            )
+            metrics.counter("sweep.cells", status=status).inc()
+            metrics.counter("sweep.retries").inc(outcome.attempts - 1)
+            if not outcome.ok:
+                metrics.counter("sweep.degraded_cells").inc()
     return outcomes
 
 

@@ -289,6 +289,25 @@ class FaultInjector:
         # windows/flap-only injector stays draw-free and fully arithmetic.
         self._rng = sim.rng(f"faults-{label}") if profile.needs_rng else None
         self._in_burst = False
+        # Injected drops are pushed per-(cause, protocol) so receiver-side
+        # accounting can separate fault noise from congestion tail-drops;
+        # aggregate stats are pulled from FaultStats at snapshot time.
+        self._metrics = sim.metrics if sim.metrics.enabled else None
+        if self._metrics is not None:
+            self._metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        for name, value in self.stats.as_dict().items():
+            registry.counter(f"faults.{name}", injector=self.label).value = value
+
+    def _count_drop(self, cause: str, packet: Packet) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "faults.drops",
+                injector=self.label,
+                cause=cause,
+                protocol=packet.protocol,
+            ).inc()
 
     # -------------------------------------------------------------- attaching
     def attach_to_link(self, link: "Link") -> "FaultInjector":
@@ -321,6 +340,7 @@ class FaultInjector:
         sim = self.sim
         if self.link_down(sim.now):
             self.stats.dropped_flap += 1
+            self._count_drop("flap", packet)
             return
         rng = self._rng
         if rng is not None:
@@ -335,9 +355,11 @@ class FaultInjector:
                         self._in_burst = True
                 if self._in_burst and rng.random() < profile.gilbert_drop:
                     self.stats.dropped_burst += 1
+                    self._count_drop("burst", packet)
                     return
             if profile.drop_probability > 0 and rng.random() < profile.drop_probability:
                 self.stats.dropped_random += 1
+                self._count_drop("random", packet)
                 return
             extra = 0.0
             if (
@@ -370,5 +392,6 @@ class FaultInjector:
         """Inbound filter: False discards the local delivery (collector down)."""
         if self.in_outage(self.sim.now):
             self.stats.dropped_outage += 1
+            self._count_drop("outage", packet)
             return False
         return True

@@ -79,6 +79,18 @@ class Link:
         #: Optional fault injector (see :mod:`repro.net.faults`); None means
         #: the delivery path is exactly the clean store-and-forward path.
         self._fault_injector = None
+        # Observability: aggregate counters are pulled from the raw slots
+        # above at snapshot time, so the per-packet path stays untouched.
+        if sim.metrics.enabled:
+            self.queue.bind_metrics(sim.metrics)
+            sim.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        labels = {"link": self.name}
+        registry.counter("link.tx_packets", **labels).value = self.transmitted_packets
+        registry.counter("link.tx_bytes", **labels).value = self.transmitted_bytes
+        if self.randomly_lost:
+            registry.counter("link.random_loss", **labels).value = self.randomly_lost
 
     # ----------------------------------------------------------------- wiring
     def connect(self, receiver: Receiver) -> None:

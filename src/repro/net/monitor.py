@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
+from repro.obs.metrics import RUN_LENGTH_BUCKETS
 from repro.net.queues import DropTailQueue
 from repro.net.simulator import Simulator
 
@@ -69,6 +70,31 @@ class QueueMonitor:
         self.track_flows = track_flows
         self.flow_arrivals: Dict[str, int] = {}
         self.flow_drops: Dict[str, int] = {}
+        # Observability: a decimated queue-depth series and a drop-run
+        # histogram (consecutive drops with no intervening dequeue — the
+        # burst structure behind loss-episode duration). Disabled wholesale
+        # under a NullRegistry, keeping the hot hooks at a None-check.
+        self._drop_run = 0
+        if sim.metrics.enabled:
+            self._depth_series = sim.metrics.series(
+                "queue.depth_bytes", max_samples=2048, queue=name
+            )
+            self._drop_run_hist = sim.metrics.histogram(
+                "queue.drop_run_length", buckets=RUN_LENGTH_BUCKETS, queue=name
+            )
+            sim.metrics.add_collector(self._collect_metrics)
+        else:
+            self._depth_series = None
+            self._drop_run_hist = None
+
+    def _collect_metrics(self, registry) -> None:
+        labels = {"monitor": self.name}
+        registry.counter("monitor.arrivals", **labels).value = self.arrivals
+        registry.counter("monitor.departures", **labels).value = self.departures
+        registry.counter("monitor.drops", **labels).value = self.total_drops
+        registry.counter("monitor.down_crossings", **labels).value = len(
+            self.down_crossings
+        )
 
     # --------------------------------------------------- QueueObserver hooks
     def on_enqueue(self, time: float, packet: Packet, qlen_bytes: int) -> None:
@@ -77,10 +103,13 @@ class QueueMonitor:
         if self.track_flows:
             flow = packet.flow
             self.flow_arrivals[flow] = self.flow_arrivals.get(flow, 0) + 1
+        if self._depth_series is not None:
+            self._depth_series.append(time, qlen_bytes)
         self._track(time, qlen_bytes)
 
     def on_drop(self, time: float, packet: Packet, qlen_bytes: int) -> None:
         self.drops.append((time, packet.protocol))
+        self._drop_run += 1
         if self.track_flows:
             flow = packet.flow
             self.flow_drops[flow] = self.flow_drops.get(flow, 0) + 1
@@ -90,6 +119,10 @@ class QueueMonitor:
 
     def on_dequeue(self, time: float, packet: Packet, qlen_bytes: int) -> None:
         self.departures += 1
+        if self._drop_run:
+            if self._drop_run_hist is not None:
+                self._drop_run_hist.observe(self._drop_run)
+            self._drop_run = 0
         self._track(time, qlen_bytes)
 
     def _track(self, time: float, qlen_bytes: int) -> None:

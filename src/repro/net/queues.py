@@ -78,6 +78,10 @@ class DropTailQueue:
         Label used in monitor output.
     """
 
+    #: Drop-cause label reported to the metrics registry; RED overrides
+    #: per drop to distinguish early (random) drops from forced tail drops.
+    drop_cause = "tail"
+
     def __init__(self, capacity_bytes: int, name: str = "queue"):
         if capacity_bytes <= 0:
             raise ConfigurationError(
@@ -89,11 +93,38 @@ class DropTailQueue:
         self._bytes = 0
         self.stats = QueueStats()
         self._observers: List[QueueObserver] = []
+        self._metrics = None
 
     # -------------------------------------------------------------- observers
     def attach(self, observer: QueueObserver) -> None:
         """Attach a tap that sees every enqueue/drop/dequeue."""
         self._observers.append(observer)
+
+    def bind_metrics(self, registry) -> None:
+        """Publish this queue's counters through a metrics registry.
+
+        Aggregate stats are *pulled* from :class:`QueueStats` at snapshot
+        time (zero hot-path cost); only drops — rare by definition — push
+        a per-cause/per-protocol counter at drop time. Idempotent per
+        registry; a :class:`~repro.obs.metrics.NullRegistry` disables the
+        push path entirely.
+        """
+        if registry is None or not registry.enabled or registry is self._metrics:
+            return
+        self._metrics = registry
+        registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        stats = self.stats
+        labels = {"queue": self.name}
+        registry.counter("queue.enqueued_packets", **labels).value = stats.enqueued_packets
+        registry.counter("queue.enqueued_bytes", **labels).value = stats.enqueued_bytes
+        registry.counter("queue.dequeued_packets", **labels).value = stats.dequeued_packets
+        registry.counter("queue.dropped_packets", **labels).value = stats.dropped_packets
+        registry.counter("queue.dropped_bytes", **labels).value = stats.dropped_bytes
+        gauge = registry.gauge("queue.bytes", **labels)
+        gauge.set(self._bytes)
+        gauge.peak = max(gauge.peak, float(stats.peak_bytes))
 
     # ------------------------------------------------------------------ state
     def __len__(self) -> int:
@@ -150,6 +181,15 @@ class DropTailQueue:
         stats = self.stats
         stats.dropped_packets += 1
         stats.dropped_bytes += packet.size
+        if self._metrics is not None:
+            # Per-cause / per-protocol attribution lets receiver-side
+            # accounting separate congestion tail-drops from fault noise.
+            self._metrics.counter(
+                "queue.drops",
+                queue=self.name,
+                cause=self.drop_cause,
+                protocol=packet.protocol,
+            ).inc()
         for observer in self._observers:
             observer.on_drop(time, packet, self._bytes)
 
@@ -198,7 +238,9 @@ class REDQueue(DropTailQueue):
         # the hard drop-tail limit.
         self.avg_bytes += self.weight * (self._bytes - self.avg_bytes)
         if self._bytes + packet.size > self.capacity_bytes:
+            self.drop_cause = "tail"
             return False
+        self.drop_cause = "red-early"
         if self.avg_bytes < self.min_thresh:
             return True
         if self.avg_bytes >= self.max_thresh:

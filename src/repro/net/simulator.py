@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
 
 Callback = Callable[..., None]
 
@@ -59,25 +61,49 @@ class Simulator:
         does not perturb the streams of existing ones.
     """
 
-    def __init__(self, seed: int = 1):
+    def __init__(self, seed: int = 1, metrics: Optional[MetricsRegistry] = None):
         self._queue: List[_Event] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
         self.seed = seed
         self._rngs: Dict[str, random.Random] = {}
-        #: Number of events dispatched so far (for performance reporting).
-        self.events_processed = 0
+        #: Metrics registry shared by every component built on this
+        #: simulator. On by default (cheap); pass a
+        #: :class:`~repro.obs.metrics.NullRegistry` to disable.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # A sweep may share one registry across several simulators, so the
+        # per-sim view subtracts the counter value seen at construction.
+        self._events_counter = self.metrics.counter("sim.events_processed")
+        self._events_base = self._events_counter.value
+        self._cancelled_counter = self.metrics.counter("sim.events_cancelled")
+        #: Deepest the event heap has ever been (plain int: hot path).
+        self.heap_peak = 0
+        #: Cumulative wall-clock seconds spent inside :meth:`run`.
+        self.wall_seconds = 0.0
         #: True when the most recent :meth:`run` stopped because it hit its
         #: ``max_events`` budget (rather than draining or reaching ``until``).
         #: Runaway simulations are detectable by checking this after run().
         self.budget_exhausted = False
+        if self.metrics.enabled:
+            self.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        registry.gauge("sim.pending_events").set(self.pending())
+        registry.gauge("sim.heap_peak").set(self.heap_peak)
+        registry.gauge("sim.now_seconds").set(self._now)
 
     # ------------------------------------------------------------------ time
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Events dispatched by this simulator, backed by the metrics
+        counter (shared registries subtract the pre-existing total)."""
+        return self._events_counter.value - self._events_base
 
     # ------------------------------------------------------------------- rng
     def rng(self, label: str) -> random.Random:
@@ -110,6 +136,8 @@ class Simulator:
         self._seq += 1
         event = _Event(time, self._seq, callback, args)
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self.heap_peak:
+            self.heap_peak = len(self._queue)
         return event
 
     # ------------------------------------------------------------------- run
@@ -131,6 +159,8 @@ class Simulator:
         self.budget_exhausted = False
         queue = self._queue
         dispatched = 0
+        cancelled = 0
+        wall_start = time.perf_counter()
         try:
             while queue:
                 event = queue[0]
@@ -138,6 +168,7 @@ class Simulator:
                     break
                 heapq.heappop(queue)
                 if event.cancelled:
+                    cancelled += 1
                     continue
                 self._now = event.time
                 event.callback(*event.args)
@@ -147,7 +178,9 @@ class Simulator:
                     break
         finally:
             self._running = False
-            self.events_processed += dispatched
+            self._events_counter.inc(dispatched)
+            self._cancelled_counter.inc(cancelled)
+            self.wall_seconds += time.perf_counter() - wall_start
         if until is not None and self._now < until and not self.budget_exhausted:
             self._now = until
         return dispatched

@@ -1,0 +1,101 @@
+"""repro.obs — zero-dependency observability for the measurement pipeline.
+
+Four pieces, usable separately or together:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms plus bounded time-series samplers. On by
+  default throughout the substrate; pass :class:`NullRegistry` to run at
+  pre-instrumentation speed. Snapshots are deterministic for a fixed seed.
+* :mod:`repro.obs.tracing` — wall-clock :func:`trace_span` spans around
+  the expensive phases of a run, exported as JSONL.
+* :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  (seed, config digest, version, timings, headline metrics) attached to
+  runner results.
+* :mod:`repro.obs.schema` — structural validators for the exported
+  artifacts (used by CI and ``badabing-sim obs validate``).
+
+See DESIGN.md §8 for the span taxonomy and document schemas.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    config_digest,
+    summarize_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RUN_LENGTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Series,
+    merge_snapshots,
+)
+from repro.obs.schema import (
+    METRICS_SCHEMA,
+    load_metrics_document,
+    validate_metrics_document,
+    validate_trace_file,
+    validate_trace_lines,
+)
+from repro.obs.summary import render_summary
+from repro.obs.tracing import TRACE_SCHEMA, Tracer, trace_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "trace_span",
+    "RunManifest",
+    "config_digest",
+    "summarize_snapshot",
+    "merge_snapshots",
+    "render_summary",
+    "validate_metrics_document",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "load_metrics_document",
+    "write_metrics_document",
+    "metrics_document",
+    "DEFAULT_BUCKETS",
+    "RUN_LENGTH_BUCKETS",
+    "METRICS_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "TRACE_SCHEMA",
+]
+
+
+def metrics_document(
+    registry: MetricsRegistry, manifest: Optional[RunManifest] = None
+) -> Dict[str, Any]:
+    """Assemble the exportable ``{"schema", "manifest", "metrics"}`` doc."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "manifest": manifest.to_dict() if manifest is not None else None,
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_metrics_document(
+    path,
+    registry: MetricsRegistry,
+    manifest: Optional[RunManifest] = None,
+) -> Dict[str, Any]:
+    """Write the combined manifest + snapshot JSON document to ``path``."""
+    document = metrics_document(registry, manifest)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return document

@@ -1,0 +1,378 @@
+"""Zero-dependency metrics: counters, gauges, histograms, time series.
+
+The registry is the substrate every perf/accuracy PR measures against, so
+its design optimizes for two things:
+
+* **Hot paths stay hot.** Per-packet code never formats strings or touches
+  dicts: instruments are resolved once at construction time and incremented
+  through plain attribute arithmetic, and bulk counts (queue/link totals)
+  are *pulled* from the raw ``__slots__`` counters the substrate already
+  keeps, via collector callbacks that run only at :meth:`MetricsRegistry.snapshot`
+  time. Components check :attr:`MetricsRegistry.enabled` once and skip
+  per-event instrumentation entirely under :class:`NullRegistry`.
+* **Determinism.** Everything recorded here is in the *simulation* domain
+  (virtual time, event counts, byte occupancy), never wall-clock, so two
+  runs with the same seed produce byte-identical snapshots. Wall-clock data
+  lives in :class:`~repro.obs.manifest.RunManifest` and the trace file.
+
+Instruments are keyed by ``(name, labels)``; repeated ``counter("x", q="a")``
+calls return the same object, so components can resolve freely.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Collector callback: called with the registry at snapshot time so cheap
+#: raw counters (QueueStats, Link totals, ...) can be published lazily.
+Collector = Callable[["MetricsRegistry"], None]
+
+#: Default histogram buckets (seconds): spans one simulator tick to minutes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Buckets for small integer run lengths (drop bursts, retries).
+RUN_LENGTH_BUCKETS: Tuple[float, ...] = (1, 2, 3, 5, 10, 20, 50, 100)
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Stable string form: ``name`` or ``name{k=v,k2=v2}`` (keys sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic counter. ``value`` may also be written directly by
+    collectors that publish an externally-kept total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value plus the peak ever written."""
+
+    __slots__ = ("name", "labels", "value", "peak")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` holds observations with
+    ``value <= buckets[i]``; the final slot is the +Inf overflow bucket."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if not buckets or any(later <= earlier for later, earlier in zip(buckets[1:], buckets)):
+            raise ObservabilityError(
+                f"histogram buckets must be strictly increasing: {buckets}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Series:
+    """Bounded (time, value) series with deterministic decimation.
+
+    Keeps every ``stride``-th appended sample; when ``max_samples`` is
+    reached, every other retained sample is discarded and the stride
+    doubles. Memory stays O(max_samples) over arbitrarily long runs and
+    the retained points depend only on the append sequence — never on
+    wall-clock — so seeded runs stay byte-identical.
+    """
+
+    __slots__ = ("name", "labels", "max_samples", "times", "values", "stride", "_phase")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        max_samples: int = 1024,
+    ):
+        if max_samples < 2:
+            raise ObservabilityError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = name
+        self.labels = labels
+        self.max_samples = max_samples
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.stride = 1
+        self._phase = 0
+
+    def append(self, time: float, value: float) -> None:
+        if self._phase:
+            self._phase -= 1
+            return
+        self._phase = self.stride - 1
+        self.times.append(time)
+        self.values.append(value)
+        if len(self.times) >= self.max_samples:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self.stride *= 2
+
+
+class MetricsRegistry:
+    """Labeled instrument registry with pull-collectors.
+
+    All instruments live in one namespace; :meth:`snapshot` runs the
+    registered collectors (publishing raw substrate counters) and returns
+    a plain-JSON-serializable document.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, tuple], Counter] = {}
+        self._gauges: Dict[Tuple[str, tuple], Gauge] = {}
+        self._histograms: Dict[Tuple[str, tuple], Histogram] = {}
+        self._series: Dict[Tuple[str, tuple], Series] = {}
+        self._collectors: List[Collector] = []
+
+    # ------------------------------------------------------------ instruments
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], buckets)
+        return instrument
+
+    def series(self, name: str, max_samples: int = 1024, **labels: Any) -> Series:
+        key = (name, _label_key(labels))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = self._series[key] = Series(name, key[1], max_samples)
+        return instrument
+
+    # ------------------------------------------------------------- collectors
+    def add_collector(self, collector: Collector) -> None:
+        """Register a callback run at snapshot time (publish raw counters)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run all collectors now (normally done by :meth:`snapshot`)."""
+        for collector in self._collectors:
+            collector(self)
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self) -> Dict[str, Any]:
+        """Collect and return the full metric state as a JSON-able dict.
+
+        Snapshots contain only simulation-domain values, so two runs with
+        the same seed yield identical snapshots (this is tested).
+        """
+        self.collect()
+        return {
+            "counters": {
+                render_key(c.name, c.labels): c.value
+                for c in sorted(self._counters.values(), key=_sort_key)
+            },
+            "gauges": {
+                render_key(g.name, g.labels): {"value": g.value, "peak": g.peak}
+                for g in sorted(self._gauges.values(), key=_sort_key)
+            },
+            "histograms": {
+                render_key(h.name, h.labels): {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for h in sorted(self._histograms.values(), key=_sort_key)
+            },
+            "series": {
+                render_key(s.name, s.labels): {
+                    "times": list(s.times),
+                    "values": list(s.values),
+                    "stride": s.stride,
+                }
+                for s in sorted(self._series.values(), key=_sort_key)
+            },
+        }
+
+    # ------------------------------------------------------------------ merge
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters and histogram buckets add; gauges keep the later write
+        (and the max of the peaks); series are concatenated sample-wise
+        (re-decimated under this registry's bounds). Histograms with
+        mismatched bucket bounds raise :class:`ObservabilityError`.
+        """
+        other.collect()
+        for (name, labels), src in other._counters.items():
+            self.counter(name, **dict(labels)).value += src.value
+        for (name, labels), src in other._gauges.items():
+            dst = self.gauge(name, **dict(labels))
+            dst.value = src.value
+            dst.peak = max(dst.peak, src.peak)
+        for (name, labels), src in other._histograms.items():
+            dst = self.histogram(name, buckets=src.buckets, **dict(labels))
+            if dst.buckets != src.buckets:
+                raise ObservabilityError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            for i, n in enumerate(src.counts):
+                dst.counts[i] += n
+            dst.count += src.count
+            dst.sum += src.sum
+        for (name, labels), src in other._series.items():
+            dst = self.series(name, max_samples=src.max_samples, **dict(labels))
+            for t, v in zip(src.times, src.values):
+                dst.append(t, v)
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: same API, retains nothing, snapshots empty.
+
+    Instruments handed out are real (so ``counter.value`` etc. still work
+    for local bookkeeping) but are never registered, collectors are
+    dropped, and hot paths that check :attr:`enabled` skip instrumentation
+    entirely — the substrate runs at pre-observability speed.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return Counter(name, _label_key(labels))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return Gauge(name, _label_key(labels))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return Histogram(name, _label_key(labels), buckets)
+
+    def series(self, name: str, max_samples: int = 1024, **labels: Any) -> Series:
+        return Series(name, _label_key(labels), max_samples)
+
+    def add_collector(self, collector: Collector) -> None:
+        pass
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        pass
+
+
+def _sort_key(instrument) -> Tuple[str, tuple]:
+    return (instrument.name, instrument.labels)
+
+
+def merge_snapshots(base: Dict[str, Any], other: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge two snapshot documents (same semantics as registry merge)."""
+    merged: Dict[str, Any] = {
+        "counters": dict(base.get("counters", {})),
+        "gauges": {k: dict(v) for k, v in base.get("gauges", {}).items()},
+        "histograms": {
+            k: {**v, "buckets": list(v["buckets"]), "counts": list(v["counts"])}
+            for k, v in base.get("histograms", {}).items()
+        },
+        "series": {
+            k: {**v, "times": list(v["times"]), "values": list(v["values"])}
+            for k, v in base.get("series", {}).items()
+        },
+    }
+    for key, value in other.get("counters", {}).items():
+        merged["counters"][key] = merged["counters"].get(key, 0) + value
+    for key, gauge in other.get("gauges", {}).items():
+        old = merged["gauges"].get(key)
+        merged["gauges"][key] = {
+            "value": gauge["value"],
+            "peak": max(gauge["peak"], old["peak"]) if old else gauge["peak"],
+        }
+    for key, hist in other.get("histograms", {}).items():
+        old = merged["histograms"].get(key)
+        if old is None:
+            merged["histograms"][key] = {
+                **hist,
+                "buckets": list(hist["buckets"]),
+                "counts": list(hist["counts"]),
+            }
+            continue
+        if list(old["buckets"]) != list(hist["buckets"]):
+            raise ObservabilityError(
+                f"cannot merge histogram {key!r}: bucket bounds differ"
+            )
+        old["counts"] = [a + b for a, b in zip(old["counts"], hist["counts"])]
+        old["count"] += hist["count"]
+        old["sum"] += hist["sum"]
+    for key, series in other.get("series", {}).items():
+        old = merged["series"].get(key)
+        if old is None:
+            merged["series"][key] = {
+                **series,
+                "times": list(series["times"]),
+                "values": list(series["values"]),
+            }
+        else:
+            old["times"] = old["times"] + list(series["times"])
+            old["values"] = old["values"] + list(series["values"])
+            old["stride"] = max(old["stride"], series["stride"])
+    return merged

@@ -1,0 +1,147 @@
+"""Human-readable rendering of metrics documents and traces.
+
+Backs ``badabing-sim obs summary``: turns the JSON artifacts into the
+report a person actually reads — provenance first, then headline totals,
+then the slow spans — without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_manifest(manifest: Dict[str, Any]) -> List[str]:
+    lines = ["manifest:"]
+    lines.append(f"  tool:       {manifest.get('tool', '?')}")
+    lines.append(f"  seed:       {manifest.get('seed', '?')}")
+    lines.append(f"  version:    {manifest.get('package_version', '?')}")
+    digest = str(manifest.get("config_digest", ""))
+    lines.append(f"  config:     {digest[:16]}…" if digest else "  config:     ?")
+    sim_s = manifest.get("sim_seconds", 0.0)
+    wall_s = manifest.get("wall_seconds", 0.0)
+    rate = sim_s / wall_s if wall_s else 0.0
+    lines.append(
+        f"  time:       {sim_s:.1f}s simulated in {wall_s:.2f}s wall "
+        f"({rate:.1f}x real time)"
+    )
+    events = manifest.get("events_processed", 0)
+    eps = events / wall_s if wall_s else 0.0
+    lines.append(f"  events:     {events} ({eps:,.0f}/s)")
+    return lines
+
+
+def render_snapshot(snapshot: Dict[str, Any], top: int = 20) -> List[str]:
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for key, value in ranked[:top]:
+            lines.append(f"  {key:<56} {_fmt(value)}")
+        if len(ranked) > top:
+            lines.append(f"  … {len(ranked) - top} more")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for key in sorted(gauges):
+            gauge = gauges[key]
+            lines.append(
+                f"  {key:<56} {_fmt(gauge['value'])} (peak {_fmt(gauge['peak'])})"
+            )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for key in sorted(histograms):
+            hist = histograms[key]
+            count = hist.get("count", 0)
+            mean = hist["sum"] / count if count else 0.0
+            lines.append(f"  {key}: n={count} mean={mean:.6g}")
+            if count:
+                lines.append(f"    {_sparkline(hist)}")
+    series = snapshot.get("series", {})
+    if series:
+        lines.append("series:")
+        for key in sorted(series):
+            entry = series[key]
+            n = len(entry.get("times", []))
+            if n:
+                peak = max(entry["values"])
+                lines.append(
+                    f"  {key}: {n} samples (stride {entry.get('stride', 1)}), "
+                    f"peak {_fmt(peak)}"
+                )
+            else:
+                lines.append(f"  {key}: empty")
+    return lines
+
+
+def _sparkline(hist: Dict[str, Any]) -> str:
+    blocks = " ▁▂▃▄▅▆▇█"
+    counts = hist.get("counts", [])
+    peak = max(counts) if counts else 0
+    if not peak:
+        return ""
+    cells = "".join(
+        blocks[min(len(blocks) - 1, 1 + (len(blocks) - 2) * c // peak)] if c else blocks[0]
+        for c in counts
+    )
+    bounds = hist.get("buckets", [])
+    lo = bounds[0] if bounds else 0
+    hi = bounds[-1] if bounds else 0
+    return f"[{cells}] {lo:g}..{hi:g}+"
+
+
+def render_trace_summary(lines_in: Iterable[Any], top: int = 15) -> List[str]:
+    """Aggregate a trace stream (JSONL strings or parsed dicts) into totals."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for raw in lines_in:
+        if isinstance(raw, dict):
+            record = raw
+        else:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+        if record.get("type") != "span" or record.get("dur") is None:
+            continue
+        entry = summary.setdefault(
+            record["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += record["dur"]
+        entry["max_s"] = max(entry["max_s"], record["dur"])
+    if not summary:
+        return []
+    lines = ["spans (by total wall time):"]
+    ranked = sorted(summary.items(), key=lambda kv: -kv[1]["total_s"])
+    for name, entry in ranked[:top]:
+        lines.append(
+            f"  {name:<32} n={int(entry['count']):<5} "
+            f"total={entry['total_s']:.3f}s max={entry['max_s']:.3f}s"
+        )
+    return lines
+
+
+def render_summary(
+    document: Dict[str, Any],
+    trace_lines: Optional[Iterable[str]] = None,
+) -> str:
+    """Full ``obs summary`` report for one metrics document (+ trace)."""
+    out: List[str] = []
+    manifest = document.get("manifest")
+    if manifest:
+        out.extend(render_manifest(manifest))
+    out.extend(render_snapshot(document.get("metrics", {})))
+    if trace_lines is not None:
+        out.extend(render_trace_summary(trace_lines))
+    return "\n".join(out)

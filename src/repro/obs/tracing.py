@@ -1,0 +1,119 @@
+"""Wall-clock tracing spans (perf_counter-based) emitted as JSONL.
+
+A :class:`Tracer` records nested spans around the expensive phases of a
+run — building the testbed, starting traffic, the simulator event loop,
+the probe-log join, estimation, validation — so performance cliffs show
+up as a named span instead of a mysterious slow run. Spans carry
+wall-clock timings and are therefore **not** deterministic across runs;
+deterministic data belongs in :mod:`repro.obs.metrics`.
+
+Usage::
+
+    tracer = Tracer(tool="badabing")
+    with trace_span(tracer, "sim.run", seed=7):
+        sim.run(until=...)
+    tracer.write_jsonl("t.jsonl")
+
+``trace_span(None, ...)`` is a supported no-op, so call sites never need
+to branch on whether tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Schema identifier stamped into the trace meta line.
+TRACE_SCHEMA = "repro.obs.trace/1"
+
+
+class Tracer:
+    """In-memory span collector with a JSONL exporter.
+
+    Spans nest via an explicit stack: a span started while another is
+    open records the open span's name as its ``parent``. Timestamps are
+    seconds since the tracer's construction (``perf_counter`` deltas),
+    which keeps the file self-contained and diffable.
+    """
+
+    def __init__(self, **meta: Any):
+        self.meta: Dict[str, Any] = dict(meta)
+        self.spans: List[Dict[str, Any]] = []
+        self._epoch = time.perf_counter()
+        self._stack: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ spans
+    def start(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        span = {
+            "type": "span",
+            "name": name,
+            "t0": time.perf_counter() - self._epoch,
+            "dur": None,
+            "parent": self._stack[-1]["name"] if self._stack else None,
+            "attrs": dict(attrs) if attrs else {},
+        }
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Dict[str, Any]) -> None:
+        span["dur"] = time.perf_counter() - self._epoch - span["t0"]
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order finish
+            self._stack.remove(span)
+        self.spans.append(span)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous (zero-duration) marker."""
+        self.spans.append(
+            {
+                "type": "event",
+                "name": name,
+                "t0": time.perf_counter() - self._epoch,
+                "dur": 0.0,
+                "parent": self._stack[-1]["name"] if self._stack else None,
+                "attrs": dict(attrs),
+            }
+        )
+
+    # ---------------------------------------------------------------- summary
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate finished spans by name: count, total and max duration."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            if span["type"] != "span" or span["dur"] is None:
+                continue
+            entry = summary.setdefault(
+                span["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += span["dur"]
+            entry["max_s"] = max(entry["max_s"], span["dur"])
+        return summary
+
+    # ----------------------------------------------------------------- export
+    def lines(self) -> Iterator[Dict[str, Any]]:
+        """The records that :meth:`write_jsonl` would write, in order."""
+        yield {"type": "meta", "schema": TRACE_SCHEMA, **self.meta}
+        for span in sorted(self.spans, key=lambda s: s["t0"]):
+            yield span
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.lines():
+                handle.write(json.dumps(record) + "\n")
+
+
+@contextmanager
+def trace_span(tracer: Optional[Tracer], name: str, **attrs: Any):
+    """Span context manager; a ``None`` tracer makes it a free no-op."""
+    if tracer is None:
+        yield None
+        return
+    span = tracer.start(name, attrs)
+    try:
+        yield span
+    finally:
+        tracer.finish(span)

@@ -53,11 +53,11 @@ def test_budget_exhaustion_is_captured_and_retried():
         run_badabing, label="starved", seed=3, budget=budget, **CELL
     )
     assert outcome.failed
-    assert outcome.error_type == "SimulationError"
+    assert outcome.error_type == "BudgetExhaustedError"
     assert outcome.budget_exhausted
     assert outcome.attempts == 3
     assert len(set(outcome.seeds)) == 3  # fresh derived seed per retry
-    assert "SimulationError" in outcome.describe()
+    assert "BudgetExhaustedError" in outcome.describe()
     with pytest.raises(ReproError):
         outcome.unwrap()
 
