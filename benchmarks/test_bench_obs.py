@@ -8,6 +8,11 @@ takes the min of several timed repetitions each (min-of-N is robust to
 scheduler noise), and fails if the enabled registry costs more than 10%
 extra wall time. It also cross-checks that both modes produce identical
 estimates — instrumentation must never perturb the simulation.
+
+The enabled path now includes the full accuracy audit (episode join,
+convergence telemetry, registry publication), so the same 10% budget
+also guards the audit layer; under ``NullRegistry`` the audit must not
+be built at all.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import time
 
 from repro.experiments.runner import run_badabing
 from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.summary import render_scorecard
 
 RUN_KWARGS = dict(
     scenario="episodic_cbr",
@@ -26,25 +32,28 @@ RUN_KWARGS = dict(
     scenario_kwargs={"mean_spacing": 2.0},
 )
 
-REPEATS = 3
+REPEATS = 5
 MAX_OVERHEAD = 1.10
 
 
-def _time_run(registry_factory):
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        registry = registry_factory()
-        started = time.perf_counter()
-        result, truth = run_badabing(metrics=registry, **RUN_KWARGS)
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
-    return best, result
+def _timed(registry_factory):
+    registry = registry_factory()
+    started = time.perf_counter()
+    result, _truth = run_badabing(metrics=registry, **RUN_KWARGS)
+    return time.perf_counter() - started, result
 
 
 def test_enabled_registry_overhead_within_budget(archive):
-    null_s, null_result = _time_run(NullRegistry)
-    live_s, live_result = _time_run(MetricsRegistry)
+    # Warm caches/allocator once untimed, then interleave the two modes so
+    # machine-load drift lands on both rather than biasing one phase.
+    _timed(NullRegistry)
+    null_s = live_s = float("inf")
+    null_result = live_result = None
+    for _ in range(REPEATS):
+        elapsed, null_result = _timed(NullRegistry)
+        null_s = min(null_s, elapsed)
+        elapsed, live_result = _timed(MetricsRegistry)
+        live_s = min(live_s, elapsed)
     ratio = live_s / null_s
     report = (
         f"observability overhead ({RUN_KWARGS['n_slots']} slots, "
@@ -57,4 +66,31 @@ def test_enabled_registry_overhead_within_budget(archive):
     # Instrumentation must not perturb the measurement itself.
     assert live_result.frequency == null_result.frequency
     assert live_result.n_probes_sent == null_result.n_probes_sent
+    # The audit layer rides inside the same overhead budget: built on the
+    # live path, skipped entirely under NullRegistry.
+    assert live_result.audit is not None
+    assert null_result.audit is None
     assert ratio <= MAX_OVERHEAD, report
+
+
+def test_audit_scorecard_archived(archive):
+    """Archive the accuracy scorecard of the benchmark run for the report."""
+    from repro.obs import scorecard_from_runs
+
+    result, truth = run_badabing(metrics=MetricsRegistry(), **RUN_KWARGS)
+    audit = result.audit
+    assert audit is not None
+    label = (
+        f"{RUN_KWARGS['scenario']} p={RUN_KWARGS['p']} "
+        f"N={RUN_KWARGS['n_slots']}"
+    )
+    scorecard = scorecard_from_runs([(label, audit, None, RUN_KWARGS["seed"])])
+    lines = render_scorecard(scorecard.to_dict())
+    counts = audit.episode_counts
+    lines.append(
+        f"  episodes: {audit.n_episodes} true — "
+        f"{counts['detected']} detected, "
+        f"{counts['partially_sampled']} partially sampled, "
+        f"{counts['missed']} missed"
+    )
+    archive("audit_scorecard", "\n".join(lines))

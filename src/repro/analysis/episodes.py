@@ -18,8 +18,9 @@ typical RTT" of quiescence ends an episode).
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -88,6 +89,24 @@ def extract_episodes(
         prev = time
     episodes.append(LossEpisode(start, prev, count))
     return episodes
+
+
+def episode_slot_range(
+    episode: LossEpisode, origin: float, slot_width: float
+) -> Tuple[int, int]:
+    """Discrete slot indices ``(first, last)`` an episode overlaps.
+
+    Slot ``i`` covers ``[origin + i*slot_width, origin + (i+1)*slot_width)``;
+    the returned range is inclusive and may extend below 0 or beyond the
+    measurement when the episode does (callers clamp against their window).
+    Used by the accuracy audit to join router ground truth to the probe
+    process's slot grid.
+    """
+    if slot_width <= 0:
+        raise ConfigurationError(f"slot_width must be positive, got {slot_width}")
+    first = math.floor((episode.start - origin) / slot_width)
+    last = math.floor((episode.end - origin) / slot_width)
+    return first, max(first, last)
 
 
 def _crossing_between(crossings: List[float], lo: float, hi: float) -> bool:

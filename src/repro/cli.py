@@ -82,6 +82,24 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.write_jsonl(args.trace_out)
         print(f"trace written to {args.trace_out}")
+    if args.audit_out:
+        from repro.obs import (
+            audit_document,
+            scorecard_from_runs,
+            write_audit_document,
+        )
+
+        if result.audit is None:
+            print("audit unavailable: run executed without metrics", file=sys.stderr)
+        else:
+            label = f"{args.scenario} p={args.p} N={n_slots}"
+            scorecard = scorecard_from_runs(
+                [(label, result.audit, None, args.seed)]
+            )
+            write_audit_document(
+                args.audit_out, audit_document(scorecard, runs=[result.audit])
+            )
+            print(f"audit written to {args.audit_out}")
     if args.save:
         from repro.io import save_measurement
 
@@ -247,14 +265,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
-    from repro.obs import load_metrics_document, render_summary
+    import json
+
+    from repro.obs import load_metrics_document, render_summary, summary_document
     from repro.obs.schema import validate_trace_file
 
     document = load_metrics_document(args.metrics)
     trace_lines = None
     if args.trace:
-        import json
-
         from repro.errors import ObservabilityError
 
         try:
@@ -267,7 +285,24 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
         problems = validate_trace_file(args.trace)
         if problems:
             print(f"warning: trace has {len(problems)} schema problem(s)", file=sys.stderr)
-    print(render_summary(document, trace_lines))
+    if args.json:
+        print(json.dumps(summary_document(document, trace_lines), indent=2))
+    else:
+        print(render_summary(document, trace_lines))
+    return 0
+
+
+def _cmd_obs_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_audit
+    from repro.obs.schema import load_audit_document
+
+    document = load_audit_document(args.audit)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_audit(document))
     return 0
 
 
@@ -295,6 +330,22 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
         for problem in trace_problems:
             print(f"{args.trace}: {problem}", file=sys.stderr)
         failures += len(trace_problems)
+    if args.audit:
+        from repro.obs.schema import validate_audit_document
+
+        try:
+            with open(args.audit, "r", encoding="utf-8") as handle:
+                audit_doc = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.audit}: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.audit}: invalid JSON ({exc.msg})", file=sys.stderr)
+            return 2
+        audit_problems = validate_audit_document(audit_doc)
+        for problem in audit_problems:
+            print(f"{args.audit}: {problem}", file=sys.stderr)
+        failures += len(audit_problems)
     if failures:
         print(f"validation FAILED: {failures} problem(s)", file=sys.stderr)
         return 1
@@ -331,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_FAULT_PROFILES),
         default="none",
         help="inject a named fault profile on the measured path",
+    )
+    measure.add_argument(
+        "--audit-out",
+        default="",
+        help="write the estimate-vs-truth accuracy audit as JSON to this path",
     )
     _add_obs_arguments(measure)
     _add_profile_argument(measure)
@@ -370,13 +426,27 @@ def build_parser() -> argparse.ArgumentParser:
     obs_summary.add_argument(
         "--trace", default="", help="optional trace JSONL written by --trace-out"
     )
+    obs_summary.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON summary"
+    )
     obs_summary.set_defaults(handler=_cmd_obs_summary)
+    obs_audit = obs_commands.add_parser(
+        "audit", help="render an accuracy-audit document written by --audit-out"
+    )
+    obs_audit.add_argument("audit", help="path written by --audit-out")
+    obs_audit.add_argument(
+        "--json", action="store_true", help="emit the validated document as JSON"
+    )
+    obs_audit.set_defaults(handler=_cmd_obs_audit)
     obs_validate = obs_commands.add_parser(
-        "validate", help="check metrics/trace files against the obs schemas"
+        "validate", help="check metrics/trace/audit files against the obs schemas"
     )
     obs_validate.add_argument("metrics", help="path written by --metrics-out")
     obs_validate.add_argument(
         "--trace", default="", help="optional trace JSONL written by --trace-out"
+    )
+    obs_validate.add_argument(
+        "--audit", default="", help="optional audit JSON written by --audit-out"
     )
     obs_validate.set_defaults(handler=_cmd_obs_validate)
 

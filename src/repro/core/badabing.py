@@ -36,6 +36,7 @@ from repro.obs.tracing import trace_span
 from repro.traffic.base import Application, ephemeral_port
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.audit import RunAudit
     from repro.obs.manifest import RunManifest
     from repro.obs.tracing import Tracer
 
@@ -76,30 +77,37 @@ class _ProbeSender(Application):
         self.slot_width = slot_width
         #: (slot, packet index) -> (true send time, sender-clock timestamp).
         self.sent: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self.trains_sent = 0
+        # Counts are published by a pull-collector at snapshot time (the
+        # send log itself is the source of truth), so the per-packet path
+        # carries no registry work; only the timing-error histogram needs a
+        # per-train observation.
         metrics = sim.metrics
         if metrics.enabled:
-            self._m_trains = metrics.counter("probe.trains_sent", tool="badabing")
-            self._m_packets = metrics.counter("probe.packets_sent", tool="badabing")
             self._m_timing = metrics.histogram(
                 "probe.timing_error_seconds",
                 buckets=TIMING_ERROR_BUCKETS,
                 tool="badabing",
             )
+            metrics.add_collector(self._collect_metrics)
         else:
-            self._m_trains = self._m_packets = self._m_timing = None
+            self._m_timing = None
         rng = sim.rng(rng_label + "-jitter")
         for slot in schedule.probe_slots:
             nominal = start + slot * slot_width
             sim.schedule_at(nominal + jitter.sample(rng), self._emit_probe, slot)
 
+    def _collect_metrics(self, registry) -> None:
+        registry.counter("probe.trains_sent", tool="badabing").value = self.trains_sent
+        registry.counter("probe.packets_sent", tool="badabing").value = len(self.sent)
+
     def _emit_probe(self, slot: int) -> None:
-        if self._m_trains is not None:
+        self.trains_sent += 1
+        if self._m_timing is not None:
             # Launch-timing error: how far jitter displaced this train from
             # the nominal slot boundary the schedule asked for (§5's "probes
             # at the start of every covered slot" assumption).
-            self._m_trains.inc()
-            nominal = self.start + slot * self.slot_width
-            self._m_timing.observe(abs(self.sim.now - nominal))
+            self._m_timing.observe(abs(self.sim.now - (self.start + slot * self.slot_width)))
         for index in range(self.packets_per_probe):
             self.sim.schedule(index * self.intra_probe_gap, self._emit_packet, slot, index)
 
@@ -107,8 +115,6 @@ class _ProbeSender(Application):
         now = self.sim.now
         stamp = self.clock.read(now)
         self.sent[(slot, index)] = (now, stamp)
-        if self._m_packets is not None:
-            self._m_packets.inc()
         self.send_packet(
             self.dst,
             self.probe_size,
@@ -138,31 +144,34 @@ class _ProbeReceiver(Application):
         #: receiver-visible signature of in-network reordering.
         self.late_arrivals = 0
         self._max_key: Optional[Tuple[int, int]] = None
-        metrics = sim.metrics
-        if metrics.enabled:
-            self._m_received = metrics.counter("probe.packets_received", tool="badabing")
-            self._m_duplicates = metrics.counter("probe.duplicates", tool="badabing")
-            self._m_late = metrics.counter("probe.late_arrivals", tool="badabing")
-        else:
-            self._m_received = self._m_duplicates = self._m_late = None
+        # The arrival log and the native dedup/reorder tallies are the
+        # source of truth; a pull-collector publishes them at snapshot time
+        # so the per-packet path carries no registry work.
+        if sim.metrics.enabled:
+            sim.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        registry.counter("probe.packets_received", tool="badabing").value = len(
+            self.received
+        )
+        registry.counter("probe.duplicates", tool="badabing").value = (
+            self.duplicate_arrivals
+        )
+        registry.counter("probe.late_arrivals", tool="badabing").value = (
+            self.late_arrivals
+        )
 
     def on_packet(self, packet) -> None:
         slot, index, _stamp = packet.payload
         key = (slot, index)
         if key in self.received:
             self.duplicate_arrivals += 1
-            if self._m_duplicates is not None:
-                self._m_duplicates.inc()
             return
         if self._max_key is None or key > self._max_key:
             self._max_key = key
         else:
             self.late_arrivals += 1
-            if self._m_late is not None:
-                self._m_late.inc()
         self.received[key] = self.clock.read(self.sim.now)
-        if self._m_received is not None:
-            self._m_received.inc()
 
 
 @dataclass
@@ -183,6 +192,9 @@ class BadabingResult:
     duplicate_arrivals: int = 0
     #: Provenance + timing record (filled in by the experiment runner).
     manifest: Optional["RunManifest"] = None
+    #: Accuracy audit against ground truth (filled in by the experiment
+    #: runner when the run's metrics registry is enabled).
+    audit: Optional["RunAudit"] = None
 
     @property
     def frequency(self) -> float:

@@ -108,6 +108,31 @@ class LossEstimate:
         return self.frequency * within_episode_drop_probability
 
 
+def update_pattern_counter(counter: Counter, outcome: ExperimentOutcome) -> None:
+    """Fold one outcome into a pattern counter (the incremental kernel).
+
+    Shared by :func:`count_patterns` (batch) and the streaming consumers
+    (:class:`~repro.core.validation.SequentialValidator`, convergence
+    telemetry), so an outcome fed one at a time produces exactly the same
+    totals as the batch path. ``E`` counts extended (3-slot) experiments.
+    """
+    pattern = outcome.as_string
+    counter[pattern] += 1
+    counter["M"] += 1
+    counter["Z"] += outcome.bits[0]
+    if len(pattern) == 2:
+        if pattern in _R_PATTERNS:
+            counter["R"] += 1
+        if pattern in _S_PATTERNS:
+            counter["S"] += 1
+    else:
+        counter["E"] += 1
+        if pattern in _U_PATTERNS:
+            counter["U"] += 1
+        if pattern in _V_PATTERNS:
+            counter["V"] += 1
+
+
 def count_patterns(outcomes: Iterable[ExperimentOutcome]) -> Counter:
     """Histogram of the y_i strings, plus the derived R/S/U/V totals.
 
@@ -118,21 +143,35 @@ def count_patterns(outcomes: Iterable[ExperimentOutcome]) -> Counter:
     """
     counter: Counter = Counter()
     for outcome in outcomes:
-        pattern = outcome.as_string
-        counter[pattern] += 1
-        counter["M"] += 1
-        counter["Z"] += outcome.first_bit
-        if outcome.is_basic:
-            if pattern in _R_PATTERNS:
-                counter["R"] += 1
-            if pattern in _S_PATTERNS:
-                counter["S"] += 1
-        else:
-            if pattern in _U_PATTERNS:
-                counter["U"] += 1
-            if pattern in _V_PATTERNS:
-                counter["V"] += 1
+        update_pattern_counter(counter, outcome)
     return counter
+
+
+def frequency_from_counter(counter: Counter) -> float:
+    """F̂ = Σ z_i / M from a pattern counter (nan when no experiments)."""
+    m = counter.get("M", 0)
+    if m == 0:
+        return float("nan")
+    return counter.get("Z", 0) / m
+
+
+def duration_from_counter(counter: Counter, improved: bool) -> float:
+    """D̂ in slots from a pattern counter; ``nan`` when undefined.
+
+    The same arithmetic :func:`estimate_from_outcomes` performs, exposed
+    separately so streaming consumers can re-evaluate the estimators after
+    every outcome without materializing a :class:`LossEstimate`.
+    """
+    s = counter.get("S", 0)
+    if s == 0:
+        return float("nan")
+    base_term = counter.get("R", 0) / s - 1.0
+    if improved:
+        u = counter.get("U", 0)
+        if u == 0:
+            return float("nan")
+        return (2.0 * counter.get("V", 0) / u) * base_term + 1.0
+    return 2.0 * base_term + 1.0
 
 
 def estimate_from_outcomes(
@@ -183,25 +222,13 @@ def estimate_from_outcomes(
     m = counter["M"]
     frequency = counter["Z"] / m
 
-    has_extended = any(outcome.is_extended for outcome in outcome_list)
-    use_improved = has_extended if improved is None else improved
+    use_improved = counter["E"] > 0 if improved is None else improved
+    duration = duration_from_counter(counter, use_improved)
 
     r_hat: Optional[float] = None
-    s = counter["S"]
-    r = counter["R"]
-    if s == 0:
-        duration = float("nan")
-    else:
-        base_term = r / s - 1.0
-        if use_improved:
-            u, v = counter["U"], counter["V"]
-            if u == 0:
-                duration = float("nan")
-            else:
-                r_hat = u / v if v > 0 else float("inf")
-                duration = (2.0 * v / u) * base_term + 1.0
-        else:
-            duration = 2.0 * base_term + 1.0
+    if use_improved and counter["S"] > 0 and counter["U"] > 0:
+        u, v = counter["U"], counter["V"]
+        r_hat = u / v if v > 0 else float("inf")
 
     counts = {
         key: counter.get(key, 0)

@@ -13,9 +13,20 @@ Two data shapes flow through the BADABING pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import product
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Every legal ``bits`` tuple mapped to its §5 pattern string ("01",
+#: "110", ...). Outcomes are validated to 2–3 bits of 0/1, so the string
+#: form is a table lookup instead of a per-access join — this sits on the
+#: hot path of the pattern-counting estimators.
+_PATTERN_STRINGS = {
+    bits: "".join(str(bit) for bit in bits)
+    for length in (2, 3)
+    for bits in product((0, 1), repeat=length)
+}
 
 
 @dataclass(frozen=True)
@@ -95,7 +106,7 @@ class ExperimentOutcome:
     @property
     def as_string(self) -> str:
         """The y_i notation used throughout §5, e.g. ``"01"`` or ``"110"``."""
-        return "".join(str(bit) for bit in self.bits)
+        return _PATTERN_STRINGS[self.bits]
 
     @property
     def first_bit(self) -> int:

@@ -17,9 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
-from repro.core.estimators import estimate_from_outcomes
+from repro.core.estimators import (
+    duration_from_counter,
+    estimate_from_outcomes,
+    frequency_from_counter,
+)
 from repro.core.records import ExperimentOutcome
-from repro.core.validation import validate_outcomes
+from repro.core.validation import SequentialValidator, validate_outcomes
 from repro.errors import ConfigurationError
 
 
@@ -92,6 +96,81 @@ class WindowedEstimator:
                 )
             )
         return points
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Cumulative estimates + validator signals after one more experiment.
+
+    ``end_slot`` is the last slot the experiment covered, so the point can
+    be placed on the simulation time axis (``start + (end_slot + 1) * slot``)
+    by consumers that know the slot width.
+    """
+
+    n_experiments: int
+    end_slot: int
+    frequency: float
+    #: None while no transition has been observed (duration undefined).
+    duration_slots: Optional[float]
+    transitions: int
+    violation_rate: float
+    transition_asymmetry: float
+    #: 1/sqrt(S); None while S = 0.
+    estimated_relative_error: Optional[float]
+    should_stop: bool
+    should_abort: bool
+
+
+def convergence_points(
+    outcomes: Iterable[ExperimentOutcome],
+    improved: Optional[bool] = None,
+    validator: Optional[SequentialValidator] = None,
+    every: int = 1,
+) -> List[ConvergencePoint]:
+    """Replay outcomes in slot order, emitting the estimator trajectory.
+
+    This is the batch twin of a live monitoring loop: outcomes are sorted
+    by start slot (the order a continuously-running collector would see
+    them) and folded one at a time into a
+    :class:`~repro.core.validation.SequentialValidator`, whose pattern
+    counter doubles as the estimator state; after every ``every``-th
+    outcome (and always after the last) the cumulative F̂, D̂, and §5.4
+    trustworthiness signals are recorded. Everything here is in the
+    simulation domain, so seeded runs yield identical trajectories. A
+    validator passed in with prior history contributes that history to the
+    cumulative estimates (continuation semantics).
+    """
+    if every < 1:
+        raise ConfigurationError(f"every must be >= 1, got {every}")
+    ordered = sorted(outcomes, key=lambda o: (o.start_slot, o.bits))
+    if validator is None:
+        validator = SequentialValidator()
+    counter = validator.pattern_counter
+    use_improved = (
+        any(outcome.is_extended for outcome in ordered) if improved is None else improved
+    )
+    points: List[ConvergencePoint] = []
+    for index, outcome in enumerate(ordered):
+        validator.add(outcome)
+        if (index + 1) % every and index + 1 != len(ordered):
+            continue
+        signals = validator.signals()
+        duration = duration_from_counter(counter, use_improved)
+        points.append(
+            ConvergencePoint(
+                n_experiments=counter["M"],
+                end_slot=outcome.start_slot + len(outcome.bits) - 1,
+                frequency=frequency_from_counter(counter),
+                duration_slots=None if duration != duration else duration,
+                transitions=signals.transitions,
+                violation_rate=signals.violation_rate,
+                transition_asymmetry=signals.transition_asymmetry,
+                estimated_relative_error=signals.estimated_relative_error,
+                should_stop=signals.should_stop,
+                should_abort=signals.should_abort,
+            )
+        )
+    return points
 
 
 def detect_level_shift(

@@ -19,11 +19,18 @@ estimates are trustworthy" mode sketched in §5.4/§7.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
-from repro.core.estimators import count_patterns
+from repro.core.estimators import count_patterns, update_pattern_counter
 from repro.core.records import CoverageReport, ExperimentOutcome
+
+#: Default ceiling on 010/101 occurrences per experiment before a
+#: measurement is judged unacceptable; shared by
+#: :meth:`ValidationReport.is_acceptable` and the fast
+#: :meth:`SequentialValidator.signals` snapshot so the two verdicts agree.
+DEFAULT_MAX_VIOLATION_RATE = 0.05
 
 
 @dataclass(frozen=True)
@@ -91,7 +98,7 @@ class ValidationReport:
     def is_acceptable(
         self,
         max_asymmetry: float = 0.3,
-        max_violation_rate: float = 0.05,
+        max_violation_rate: float = DEFAULT_MAX_VIOLATION_RATE,
         min_transitions: int = 10,
         min_coverage: float = 0.0,
     ) -> bool:
@@ -118,12 +125,15 @@ class ValidationReport:
         return True
 
 
-def validate_outcomes(
-    outcomes: Iterable[ExperimentOutcome],
-    coverage: Optional[CoverageReport] = None,
+def report_from_counter(
+    counter: Counter, coverage: Optional[CoverageReport] = None
 ) -> ValidationReport:
-    """Build a :class:`ValidationReport` from measured outcomes."""
-    counter = count_patterns(outcomes)
+    """Build a :class:`ValidationReport` from an already-folded counter.
+
+    The streaming path: :class:`SequentialValidator` (and the convergence
+    telemetry built on it) maintains one pattern counter incrementally and
+    re-derives the report in O(1) after each outcome.
+    """
     return ValidationReport(
         n_experiments=counter.get("M", 0),
         n01=counter.get("01", 0),
@@ -138,6 +148,35 @@ def validate_outcomes(
     )
 
 
+def validate_outcomes(
+    outcomes: Iterable[ExperimentOutcome],
+    coverage: Optional[CoverageReport] = None,
+) -> ValidationReport:
+    """Build a :class:`ValidationReport` from measured outcomes."""
+    return report_from_counter(count_patterns(outcomes), coverage=coverage)
+
+
+@dataclass(frozen=True)
+class ValidatorSignals:
+    """One instantaneous reading of a :class:`SequentialValidator`.
+
+    The convergence-telemetry layer samples these after every outcome and
+    exports them as registry series, so an operator can watch the §5.4
+    trustworthiness signals evolve instead of learning them post hoc.
+    """
+
+    n_experiments: int
+    transitions: int
+    violation_rate: float
+    transition_asymmetry: float
+    extended_pair_asymmetry: float
+    extended_gap_asymmetry: float
+    #: 1/sqrt(S); None while no transition has been observed.
+    estimated_relative_error: Optional[float]
+    should_stop: bool
+    should_abort: bool
+
+
 class SequentialValidator:
     """Open-ended experimentation with a §5.4-style stopping rule.
 
@@ -147,6 +186,11 @@ class SequentialValidator:
     the symmetry checks pass. ``should_abort`` turns true if the symmetry
     discrepancy persists long past the point it should have converged —
     the paper's "a large discrepancy that is not bridged by increasing M".
+
+    The validator folds outcomes into one pattern counter as they arrive,
+    so :attr:`report`, :meth:`should_stop`, and :meth:`signals` cost O(1)
+    per call regardless of how many outcomes have been seen — cheap enough
+    to evaluate after *every* outcome for convergence telemetry.
     """
 
     def __init__(
@@ -160,17 +204,82 @@ class SequentialValidator:
         self.max_asymmetry = max_asymmetry
         self.min_transitions = min_transitions
         self.abort_after_transitions = abort_after_transitions
-        self._outcomes: List[ExperimentOutcome] = []
+        self._counter: Counter = Counter()
 
     def add(self, outcome: ExperimentOutcome) -> None:
-        self._outcomes.append(outcome)
+        update_pattern_counter(self._counter, outcome)
 
     def extend(self, outcomes: Iterable[ExperimentOutcome]) -> None:
-        self._outcomes.extend(outcomes)
+        for outcome in outcomes:
+            update_pattern_counter(self._counter, outcome)
+
+    @property
+    def n_experiments(self) -> int:
+        return self._counter.get("M", 0)
+
+    @property
+    def pattern_counter(self) -> Counter:
+        """Live view of the folded pattern counter (treat as read-only).
+
+        Lets streaming consumers (convergence telemetry) derive F̂/D̂ from
+        the same counter the validator maintains instead of folding every
+        outcome a second time.
+        """
+        return self._counter
 
     @property
     def report(self) -> ValidationReport:
-        return validate_outcomes(self._outcomes)
+        return report_from_counter(self._counter)
+
+    def signals(self) -> ValidatorSignals:
+        """Snapshot every live signal at the current outcome count.
+
+        Reads the counter directly instead of materializing a
+        :class:`ValidationReport` — the convergence-telemetry loop calls
+        this once per sampled outcome, so the snapshot is kept to dict
+        reads and arithmetic. The acceptability logic must mirror
+        :meth:`ValidationReport.is_acceptable` at this validator's
+        thresholds (a regression test pins the two together).
+        """
+        get = self._counter.get
+        n01 = get("01", 0)
+        n10 = get("10", 0)
+        transitions = n01 + n10
+        n_experiments = get("M", 0)
+        violations = get("010", 0) + get("101", 0)
+        violation_rate = violations / n_experiments if n_experiments else 0.0
+        asymmetry = abs(n01 - n10) / transitions if transitions else 0.0
+        n001 = get("001", 0)
+        n100 = get("100", 0)
+        gap_total = n001 + n100
+        n011 = get("011", 0)
+        n110 = get("110", 0)
+        pair_total = n011 + n110
+        error = 1.0 / math.sqrt(transitions) if transitions else None
+        acceptable = violation_rate <= DEFAULT_MAX_VIOLATION_RATE and (
+            transitions < self.min_transitions or asymmetry <= self.max_asymmetry
+        )
+        return ValidatorSignals(
+            n_experiments=n_experiments,
+            transitions=transitions,
+            violation_rate=violation_rate,
+            transition_asymmetry=asymmetry,
+            extended_pair_asymmetry=(
+                abs(n011 - n110) / pair_total if pair_total else 0.0
+            ),
+            extended_gap_asymmetry=(
+                abs(n001 - n100) / gap_total if gap_total else 0.0
+            ),
+            estimated_relative_error=error,
+            should_stop=(
+                transitions >= self.min_transitions
+                and error is not None
+                and error <= self.target_relative_error
+                and acceptable
+            ),
+            should_abort=transitions >= self.abort_after_transitions
+            and not acceptable,
+        )
 
     def estimated_relative_error(self) -> Optional[float]:
         """1/sqrt(S): the relative sampling error of the transition count.

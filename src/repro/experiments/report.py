@@ -27,6 +27,10 @@ SECTIONS: List[Tuple[str, List[str]]] = [
         ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b"],
     ),
     (
+        "Observability & accuracy audit",
+        ["audit_scorecard", "bench_obs_overhead"],
+    ),
+    (
         "Ablations (beyond the paper)",
         [
             "ablation_improved",

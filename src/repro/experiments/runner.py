@@ -39,6 +39,12 @@ from repro.experiments import scenarios as _scenarios
 from repro.net.faults import FaultInjector, FaultProfile, resolve_fault_profile
 from repro.net.simulator import Simulator, _stable_seed
 from repro.net.topology import DumbbellTestbed
+from repro.obs.audit import (
+    AccuracyScorecard,
+    audit_run,
+    publish_audit,
+    scorecard_from_runs,
+)
 from repro.obs.manifest import RunManifest, config_digest, summarize_snapshot
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer, trace_span
@@ -46,6 +52,9 @@ from repro.obs.tracing import Tracer, trace_span
 #: Extra simulated time after the measurement window so in-flight packets
 #: drain and the tools' logs are complete.
 DRAIN_TIME = 2.0
+
+#: The heartbeat emits at most this many progress events per run.
+HEARTBEAT_BEATS = 8
 
 #: Registry of named scenarios usable by tables, benches, and the CLI.
 SCENARIOS: Dict[str, Callable[..., Any]] = {
@@ -83,6 +92,31 @@ def _build_manifest(
         events_processed=sim.events_processed,
         metrics=summarize_snapshot(sim.metrics.snapshot()),
     )
+
+
+def _start_heartbeat(sim: Simulator, tracer: Optional[Tracer], until: float) -> None:
+    """Emit periodic sim-time progress events while a run executes.
+
+    A long simulation is silent between the ``sim.run`` span's start and
+    end; the heartbeat marks simulated-time progress (and the event count
+    at each beat) so a stalled run is distinguishable from a slow one in
+    the trace. A no-op without a tracer — the simulation schedule gains no
+    extra events, preserving clean-path determinism.
+    """
+    if tracer is None or until <= 0:
+        return
+    interval = until / HEARTBEAT_BEATS
+
+    def beat() -> None:
+        tracer.event(
+            "sim.heartbeat",
+            sim_time=round(sim.now, 9),
+            events_processed=sim.events_processed,
+        )
+        if sim.now + interval <= until:
+            sim.schedule(interval, beat)
+
+    sim.schedule(interval, beat)
 
 
 def apply_scenario(
@@ -290,6 +324,7 @@ def run_badabing(
         tracer=tracer,
     )
     injector = install_faults(sim, testbed, faults, anchor=warmup)
+    _start_heartbeat(sim, tracer, until=tool.end_time + DRAIN_TIME)
     with trace_span(tracer, "sim.run", until=tool.end_time + DRAIN_TIME):
         dispatched = sim.run(until=tool.end_time + DRAIN_TIME, max_events=max_events)
     if sim.budget_exhausted:
@@ -313,6 +348,10 @@ def run_badabing(
     )
     with trace_span(tracer, "tool.result"):
         result = tool.result(blackout_windows=blackouts)
+    if sim.metrics.enabled:
+        with trace_span(tracer, "audit.build"):
+            result.audit = audit_run(result, truth, tool.schedule, start=warmup)
+            publish_audit(sim.metrics, result.audit, start=warmup)
     result.manifest = _build_manifest(
         "badabing", seed, sim, config, testbed.config
     )
@@ -394,6 +433,11 @@ def run_badabing_multihop(
         testbed.path_episodes(), loss_rate, probe_cfg.slot, warmup, config.duration
     )
     result = tool.result()
+    if sim.metrics.enabled:
+        result.audit = audit_run(
+            result, truth, tool.schedule, start=warmup, tool="badabing-multihop"
+        )
+        publish_audit(sim.metrics, result.audit, start=warmup)
     result.manifest = _build_manifest(
         "badabing-multihop", seed, sim, config, testbed.config
     )
@@ -640,6 +684,25 @@ def sweep_badabing(
             if not outcome.ok:
                 metrics.counter("sweep.degraded_cells").inc()
     return outcomes
+
+
+def scorecard_from_outcomes(outcomes: Sequence[RunOutcome]) -> AccuracyScorecard:
+    """Aggregate a sweep's :class:`RunOutcome` list into a scorecard.
+
+    Cells audited during their run (registry enabled) contribute full
+    accuracy rows; cells that failed — or ran unaudited under a
+    :class:`~repro.obs.metrics.NullRegistry` — appear as not-ok rows so
+    the scorecard's denominator always matches the sweep's shape.
+    """
+    entries = []
+    for outcome in outcomes:
+        seed = outcome.seeds[-1] if outcome.seeds else None
+        audit = getattr(outcome.result, "audit", None) if outcome.ok else None
+        error = outcome.error
+        if outcome.ok and audit is None:
+            error = "run was not audited (metrics registry disabled)"
+        entries.append((outcome.label, audit, error, seed))
+    return scorecard_from_runs(entries)
 
 
 def _cell_label(index: int, kwargs: Dict[str, Any]) -> str:

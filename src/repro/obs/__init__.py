@@ -22,6 +22,20 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
+from repro.obs.audit import (
+    AUDIT_SCHEMA,
+    AccuracyScorecard,
+    EpisodeAudit,
+    RunAudit,
+    ScorecardRow,
+    audit_document,
+    audit_episodes,
+    audit_run,
+    publish_audit,
+    row_from_audit,
+    scorecard_from_runs,
+    write_audit_document,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
@@ -41,12 +55,19 @@ from repro.obs.metrics import (
 )
 from repro.obs.schema import (
     METRICS_SCHEMA,
+    load_audit_document,
     load_metrics_document,
+    validate_audit_document,
     validate_metrics_document,
     validate_trace_file,
     validate_trace_lines,
 )
-from repro.obs.summary import render_summary
+from repro.obs.summary import (
+    render_audit,
+    render_scorecard,
+    render_summary,
+    summary_document,
+)
 from repro.obs.tracing import TRACE_SCHEMA, Tracer, trace_span
 
 __all__ = [
@@ -63,17 +84,34 @@ __all__ = [
     "summarize_snapshot",
     "merge_snapshots",
     "render_summary",
+    "summary_document",
     "validate_metrics_document",
     "validate_trace_file",
     "validate_trace_lines",
     "load_metrics_document",
     "write_metrics_document",
     "metrics_document",
+    "EpisodeAudit",
+    "RunAudit",
+    "ScorecardRow",
+    "AccuracyScorecard",
+    "audit_episodes",
+    "audit_run",
+    "publish_audit",
+    "row_from_audit",
+    "scorecard_from_runs",
+    "audit_document",
+    "write_audit_document",
+    "load_audit_document",
+    "validate_audit_document",
+    "render_audit",
+    "render_scorecard",
     "DEFAULT_BUCKETS",
     "RUN_LENGTH_BUCKETS",
     "METRICS_SCHEMA",
     "MANIFEST_SCHEMA",
     "TRACE_SCHEMA",
+    "AUDIT_SCHEMA",
 ]
 
 

@@ -124,9 +124,19 @@ class Series:
     doubles. Memory stays O(max_samples) over arbitrarily long runs and
     the retained points depend only on the append sequence — never on
     wall-clock — so seeded runs stay byte-identical.
+
+    The most recent append is always remembered: once the stride exceeds 1
+    most appends fall in the skip phase, so without a retained tail a
+    snapshot taken mid-phase would report a last value up to ``stride - 1``
+    appends stale. :meth:`points` (what snapshots and merges read) returns
+    the decimated samples plus that trailing point when decimation skipped
+    it — still a pure function of the append sequence.
     """
 
-    __slots__ = ("name", "labels", "max_samples", "times", "values", "stride", "_phase")
+    __slots__ = (
+        "name", "labels", "max_samples", "times", "values", "stride", "_phase",
+        "_tail_time", "_tail_value", "_tail_retained",
+    )
 
     def __init__(
         self,
@@ -143,18 +153,34 @@ class Series:
         self.values: List[float] = []
         self.stride = 1
         self._phase = 0
+        self._tail_time: Optional[float] = None
+        self._tail_value = 0.0
+        self._tail_retained = True
 
     def append(self, time: float, value: float) -> None:
+        self._tail_time = time
+        self._tail_value = value
         if self._phase:
             self._phase -= 1
+            self._tail_retained = False
             return
         self._phase = self.stride - 1
         self.times.append(time)
         self.values.append(value)
+        self._tail_retained = True
         if len(self.times) >= self.max_samples:
+            # Halving keeps even indices; the just-appended sample survives
+            # only when it sat at an even index.
+            self._tail_retained = (len(self.times) - 1) % 2 == 0
             self.times = self.times[::2]
             self.values = self.values[::2]
             self.stride *= 2
+
+    def points(self) -> Tuple[List[float], List[float]]:
+        """Retained samples plus the freshest append when it was skipped."""
+        if self._tail_retained or self._tail_time is None:
+            return list(self.times), list(self.values)
+        return self.times + [self._tail_time], self.values + [self._tail_value]
 
 
 class MetricsRegistry:
@@ -246,11 +272,14 @@ class MetricsRegistry:
             },
             "series": {
                 render_key(s.name, s.labels): {
-                    "times": list(s.times),
-                    "values": list(s.values),
+                    "times": points[0],
+                    "values": points[1],
                     "stride": s.stride,
                 }
-                for s in sorted(self._series.values(), key=_sort_key)
+                for s, points in (
+                    (s, s.points())
+                    for s in sorted(self._series.values(), key=_sort_key)
+                )
             },
         }
 
@@ -282,7 +311,7 @@ class MetricsRegistry:
             dst.sum += src.sum
         for (name, labels), src in other._series.items():
             dst = self.series(name, max_samples=src.max_samples, **dict(labels))
-            for t, v in zip(src.times, src.values):
+            for t, v in zip(*src.points()):
                 dst.append(t, v)
 
 

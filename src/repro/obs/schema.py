@@ -13,6 +13,7 @@ import json
 from typing import Any, Dict, Iterable, List
 
 from repro.errors import ObservabilityError
+from repro.obs.audit import AUDIT_SCHEMA, EPISODE_STATUSES
 from repro.obs.manifest import MANIFEST_SCHEMA
 from repro.obs.tracing import TRACE_SCHEMA
 
@@ -120,6 +121,122 @@ def validate_metrics_document(document: Any) -> List[str]:
     else:
         problems.extend(validate_snapshot(document["metrics"]))
     return problems
+
+
+_SCORECARD_ROW_FIELDS = ("label", "ok", "n_episodes", "detected", "partially_sampled", "missed")
+
+#: Parallel arrays every exported convergence block must carry.
+_CONVERGENCE_ARRAYS = (
+    "t",
+    "n_experiments",
+    "f_hat",
+    "f_rel_error",
+    "d_hat_seconds",
+    "d_rel_error",
+    "violation_rate",
+    "transition_asymmetry",
+    "estimated_relative_error",
+    "should_stop",
+    "should_abort",
+)
+
+
+def _validate_run_audit(run: Any, where: str) -> List[str]:
+    problems: List[str] = []
+    if not isinstance(run, dict):
+        return [f"{where}: expected an object, got {type(run).__name__}"]
+    for name in ("tool", "slot_width", "frequency", "duration_seconds",
+                 "episode_audit", "validation", "convergence"):
+        if name not in run:
+            problems.append(f"{where}: missing field {name!r}")
+    episode_audit = run.get("episode_audit")
+    if isinstance(episode_audit, dict):
+        counts = episode_audit.get("counts")
+        if not isinstance(counts, dict) or set(counts) != set(EPISODE_STATUSES):
+            problems.append(
+                f"{where}.episode_audit.counts: expected exactly {sorted(EPISODE_STATUSES)}"
+            )
+        episodes = episode_audit.get("episodes")
+        if not isinstance(episodes, list):
+            problems.append(f"{where}.episode_audit.episodes: expected a list")
+        else:
+            if isinstance(counts, dict) and len(episodes) != sum(
+                v for v in counts.values() if isinstance(v, int)
+            ):
+                problems.append(
+                    f"{where}.episode_audit: counts do not add up to the episode list"
+                )
+            for index, episode in enumerate(episodes):
+                if not isinstance(episode, dict):
+                    problems.append(f"{where}.episode_audit.episodes[{index}]: expected an object")
+                elif episode.get("status") not in EPISODE_STATUSES:
+                    problems.append(
+                        f"{where}.episode_audit.episodes[{index}].status: "
+                        f"got {episode.get('status')!r}"
+                    )
+    convergence = run.get("convergence")
+    if isinstance(convergence, dict):
+        lengths = set()
+        for name in _CONVERGENCE_ARRAYS:
+            array = convergence.get(name)
+            if not isinstance(array, list):
+                problems.append(f"{where}.convergence.{name}: expected a list")
+            else:
+                lengths.add(len(array))
+        if len(lengths) > 1:
+            problems.append(f"{where}.convergence: arrays have mismatched lengths")
+        times = convergence.get("t")
+        if isinstance(times, list) and any(b < a for a, b in zip(times, times[1:])):
+            problems.append(f"{where}.convergence.t: times not monotonic")
+    return problems
+
+
+def validate_audit_document(document: Any) -> List[str]:
+    """Validate a ``{"schema", "scorecard", "runs"}`` accuracy-audit doc."""
+    if not isinstance(document, dict):
+        return [f"document: expected an object, got {type(document).__name__}"]
+    problems: List[str] = []
+    if document.get("schema") != AUDIT_SCHEMA:
+        problems.append(
+            f"document.schema: expected {AUDIT_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    scorecard = document.get("scorecard")
+    if not isinstance(scorecard, dict):
+        problems.append("document: missing 'scorecard' object")
+    else:
+        rows = scorecard.get("rows")
+        if not isinstance(rows, list):
+            problems.append("scorecard.rows: expected a list")
+        else:
+            if scorecard.get("n_runs") != len(rows):
+                problems.append("scorecard.n_runs: does not match len(rows)")
+            for index, row in enumerate(rows):
+                if not isinstance(row, dict):
+                    problems.append(f"scorecard.rows[{index}]: expected an object")
+                    continue
+                for name in _SCORECARD_ROW_FIELDS:
+                    if name not in row:
+                        problems.append(f"scorecard.rows[{index}]: missing field {name!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list):
+        problems.append("document: missing 'runs' list")
+    else:
+        for index, run in enumerate(runs):
+            problems.extend(_validate_run_audit(run, f"runs[{index}]"))
+    return problems
+
+
+def load_audit_document(path) -> Dict[str, Any]:
+    """Read + validate an audit document, raising on schema problems."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read audit document {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{path}: invalid JSON ({exc.msg})")
+    check(validate_audit_document(document), str(path))
+    return document
 
 
 def validate_trace_lines(lines: Iterable[str]) -> List[str]:

@@ -98,8 +98,9 @@ def _sparkline(hist: Dict[str, Any]) -> str:
     return f"[{cells}] {lo:g}..{hi:g}+"
 
 
-def render_trace_summary(lines_in: Iterable[Any], top: int = 15) -> List[str]:
-    """Aggregate a trace stream (JSONL strings or parsed dicts) into totals."""
+def aggregate_trace(lines_in: Iterable[Any]) -> Dict[str, Dict[str, float]]:
+    """Aggregate a trace stream (JSONL strings or parsed dicts) into
+    per-span-name ``{count, total_s, max_s}`` totals."""
     summary: Dict[str, Dict[str, float]] = {}
     for raw in lines_in:
         if isinstance(raw, dict):
@@ -120,6 +121,12 @@ def render_trace_summary(lines_in: Iterable[Any], top: int = 15) -> List[str]:
         entry["count"] += 1
         entry["total_s"] += record["dur"]
         entry["max_s"] = max(entry["max_s"], record["dur"])
+    return summary
+
+
+def render_trace_summary(lines_in: Iterable[Any], top: int = 15) -> List[str]:
+    """Render a trace stream's span totals, slowest first."""
+    summary = aggregate_trace(lines_in)
     if not summary:
         return []
     lines = ["spans (by total wall time):"]
@@ -144,4 +151,169 @@ def render_summary(
     out.extend(render_snapshot(document.get("metrics", {})))
     if trace_lines is not None:
         out.extend(render_trace_summary(trace_lines))
+    return "\n".join(out)
+
+
+def summary_document(
+    document: Dict[str, Any],
+    trace_lines: Optional[Iterable[str]] = None,
+) -> Dict[str, Any]:
+    """Machine-readable twin of :func:`render_summary` (``--json``).
+
+    Counters and gauges pass through; histograms and series are reduced to
+    their headline statistics; the trace (if given) to per-span totals.
+    """
+    snapshot = document.get("metrics", {})
+    histograms = {}
+    for key, hist in snapshot.get("histograms", {}).items():
+        count = hist.get("count", 0)
+        histograms[key] = {
+            "count": count,
+            "mean": hist["sum"] / count if count else None,
+        }
+    series = {}
+    for key, entry in snapshot.get("series", {}).items():
+        values = entry.get("values", [])
+        series[key] = {
+            "samples": len(values),
+            "stride": entry.get("stride", 1),
+            "last": values[-1] if values else None,
+            "peak": max(values) if values else None,
+        }
+    return {
+        "manifest": document.get("manifest"),
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": {
+            key: gauge.get("value") for key, gauge in snapshot.get("gauges", {}).items()
+        },
+        "histograms": histograms,
+        "series": series,
+        "spans": aggregate_trace(trace_lines) if trace_lines is not None else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Accuracy-audit rendering
+# ---------------------------------------------------------------------------
+
+def _pct(value: Optional[float]) -> str:
+    return "—" if value is None else f"{100 * value:.1f}%"
+
+
+def render_scorecard(scorecard: Dict[str, Any]) -> List[str]:
+    """Render an :class:`~repro.obs.audit.AccuracyScorecard` dict."""
+    lines = ["accuracy scorecard:"]
+    lines.append(
+        f"  runs:              {scorecard.get('n_ok', 0)}/{scorecard.get('n_runs', 0)} ok, "
+        f"{scorecard.get('n_acceptable', 0)} pass §5.4 validation"
+    )
+    lines.append(
+        f"  |F̂−F|/F:           mean {_pct(scorecard.get('mean_frequency_rel_error'))}, "
+        f"worst {_pct(scorecard.get('worst_frequency_rel_error'))}"
+    )
+    lines.append(
+        f"  |D̂−D|/D:           mean {_pct(scorecard.get('mean_duration_rel_error'))}"
+    )
+    lines.append(
+        f"  episode recall:    mean {_pct(scorecard.get('mean_episode_recall'))}"
+    )
+    rows = scorecard.get("rows", [])
+    if rows:
+        lines.append(
+            f"  {'run':<28} {'F err':>8} {'D err':>8} {'recall':>8} "
+            f"{'det/par/miss':>12} verdict"
+        )
+        for row in rows:
+            label = str(row.get("label", "?"))[:28]
+            if not row.get("ok"):
+                lines.append(f"  {label:<28} FAILED: {row.get('error')}")
+                continue
+            episodes = (
+                f"{row.get('detected', 0)}/{row.get('partially_sampled', 0)}"
+                f"/{row.get('missed', 0)}"
+            )
+            if row.get("should_abort"):
+                verdict = "abort"
+            elif row.get("acceptable"):
+                verdict = "accept"
+            else:
+                verdict = "reject"
+            lines.append(
+                f"  {label:<28} {_pct(row.get('frequency_rel_error')):>8} "
+                f"{_pct(row.get('duration_rel_error')):>8} "
+                f"{_pct(row.get('episode_recall')):>8} {episodes:>12} {verdict}"
+            )
+    return lines
+
+
+def _render_run_audit(run: Dict[str, Any], index: int) -> List[str]:
+    frequency = run.get("frequency", {})
+    duration = run.get("duration_seconds", {})
+    episode_audit = run.get("episode_audit", {})
+    validation = run.get("validation", {})
+    counts = episode_audit.get("counts", {})
+    lines = [f"run {index} ({run.get('tool', '?')}):"]
+    est_f = frequency.get("estimated")
+    true_f = frequency.get("true")
+    lines.append(
+        f"  frequency:         F̂={f'{est_f:.6g}' if est_f is not None else '—':>10} "
+        f"F={f'{true_f:.6g}' if true_f is not None else '—':>10} "
+        f"err {_pct(frequency.get('rel_error'))}"
+    )
+    est_d = duration.get("estimated")
+    true_d = duration.get("true")
+    lines.append(
+        f"  duration:          D̂={f'{est_d:.4f}s' if est_d is not None else '—':>10} "
+        f"D={f'{true_d:.4f}s' if true_d is not None else '—':>10} "
+        f"err {_pct(duration.get('rel_error'))}"
+    )
+    lines.append(
+        f"  episodes:          {episode_audit.get('n_episodes', 0)} true — "
+        f"{counts.get('detected', 0)} detected, "
+        f"{counts.get('partially_sampled', 0)} partially sampled, "
+        f"{counts.get('missed', 0)} missed "
+        f"(recall {_pct(episode_audit.get('recall'))})"
+    )
+    by_status = episode_audit.get("duration_by_status", {})
+    if by_status:
+        lines.append(
+            "  episode seconds:   "
+            + ", ".join(
+                f"{status} {by_status.get(status, 0.0):.3f}s"
+                for status in ("detected", "partially_sampled", "missed")
+            )
+        )
+    coverage = episode_audit.get("mean_sampling_coverage")
+    if coverage is not None:
+        lines.append(f"  sampling coverage: mean {_pct(coverage)} of episode slots probed")
+    verdict = (
+        "abort"
+        if validation.get("should_abort")
+        else ("accept" if validation.get("acceptable") else "reject")
+    )
+    lines.append(
+        f"  validation:        {verdict} — "
+        f"{validation.get('transitions', 0)} transitions, "
+        f"violation rate {_pct(validation.get('violation_rate'))}, "
+        f"asymmetry {_pct(validation.get('transition_asymmetry'))}, "
+        f"stop={validation.get('should_stop')}"
+    )
+    convergence = run.get("convergence", {})
+    n_points = len(convergence.get("t", []))
+    if n_points:
+        errors = [e for e in convergence.get("f_rel_error", []) if e is not None]
+        final = f", final F err {_pct(errors[-1])}" if errors else ""
+        lines.append(f"  convergence:       {n_points} points{final}")
+    return lines
+
+
+def render_audit(document: Dict[str, Any], max_runs: int = 10) -> str:
+    """Full ``obs audit`` report for one audit document."""
+    out = render_scorecard(document.get("scorecard", {}))
+    runs = document.get("runs", [])
+    for index, run in enumerate(runs[:max_runs]):
+        out.append("")
+        out.extend(_render_run_audit(run, index))
+    if len(runs) > max_runs:
+        out.append(f"… {len(runs) - max_runs} more runs (see the JSON document)")
     return "\n".join(out)

@@ -119,6 +119,64 @@ class TestSeries:
         with pytest.raises(ObservabilityError):
             Series("s", max_samples=1)
 
+    def test_points_include_latest_sample_mid_skip_phase(self):
+        # Regression: once stride > 1, appends in the skip phase were lost
+        # from snapshots — the reported last value could be up to
+        # stride - 1 appends stale.
+        s = Series("s", max_samples=8)
+        for i in range(9):  # crosses the cap: stride becomes 2
+            s.append(float(i), float(i))
+        assert s.stride == 2
+        s.append(9.0, 99.0)  # falls in the skip phase
+        times, values = s.points()
+        assert times[-1] == 9.0
+        assert values[-1] == 99.0
+        # The decimated backbone is untouched.
+        assert times[:-1] == s.times
+        assert s.times == sorted(s.times)
+
+    def test_points_equal_samples_when_tail_retained(self):
+        s = Series("s", max_samples=8)
+        for i in range(5):
+            s.append(float(i), float(i))
+        assert s.points() == ([0.0, 1.0, 2.0, 3.0, 4.0], [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert Series("empty").points() == ([], [])
+
+    def test_points_are_deterministic(self):
+        def build():
+            s = Series("s", max_samples=8)
+            for i in range(1001):  # odd count: ends mid-skip-phase
+                s.append(i * 0.1, i % 7)
+            return s.points()
+
+        assert build() == build()
+        times, values = build()
+        assert times[-1] == pytest.approx(1000 * 0.1)
+        assert values[-1] == 1000 % 7
+
+    def test_snapshot_reports_tail(self):
+        reg = MetricsRegistry()
+        s = reg.series("s")
+        for i in range(9):
+            s.append(float(i), float(i))
+        s.append(9.0, 42.0)
+        snap = reg.snapshot()["series"]["s"]
+        assert snap["times"][-1] == 9.0
+        assert snap["values"][-1] == 42.0
+        assert len(snap["times"]) == len(snap["values"])
+
+    def test_merge_carries_tail(self):
+        src = MetricsRegistry()
+        s = src.series("s")
+        for i in range(9):
+            s.append(float(i), float(i))
+        s.append(9.0, 42.0)
+        dst = MetricsRegistry()
+        dst.merge(src)
+        times, values = dst.series("s").points()
+        assert times[-1] == 9.0
+        assert values[-1] == 42.0
+
 
 class TestRenderKey:
     def test_no_labels(self):

@@ -102,3 +102,32 @@ def test_window_point_is_frozen():
     point = WindowPoint(0, 0, 9, 5, 0.1, None, 0, True)
     with pytest.raises(AttributeError):
         point.frequency = 0.5
+
+
+def test_detect_level_shift_empty_and_short_histories():
+    # No points at all: nothing to detect.
+    assert detect_level_shift([], factor=2.0) is None
+    # Fewer points than min_windows: never enough history to judge.
+    few = [
+        WindowPoint(i, i * 10, i * 10 + 9, 5, 0.5 * (i + 1), None, 0, True)
+        for i in range(3)
+    ]
+    assert detect_level_shift(few, factor=2.0, min_windows=3) is None
+
+
+def test_detect_level_shift_all_zero_history_stays_quiet():
+    # An all-zero frequency history must not fire (or divide by zero)
+    # while the process stays at zero.
+    flat = [WindowPoint(i, i * 10, i * 10 + 9, 5, 0.0, None, 0, True) for i in range(8)]
+    assert detect_level_shift(flat, factor=2.0) is None
+
+
+def test_windows_below_min_experiments_yield_no_points():
+    outcomes = [ExperimentOutcome(i, (0, 1)) for i in range(0, 12, 3)]
+    estimator = WindowedEstimator(window_slots=100, min_experiments=10)
+    assert estimator.windows(outcomes) == []
+    assert estimator.windows([]) == []
+    # Exactly at the threshold the window is estimated.
+    at_threshold = [ExperimentOutcome(i, (0, 1)) for i in range(10)]
+    points = WindowedEstimator(100, min_experiments=10).windows(at_threshold)
+    assert len(points) == 1 and points[0].n_experiments == 10

@@ -114,3 +114,44 @@ def test_estimated_relative_error():
 
 def test_transition_count_property():
     assert report(n01=3, n10=4).transition_count == 7
+
+
+def test_incremental_validator_matches_batch_report():
+    outcomes = (
+        [outcome((0, 1))] * 6
+        + [outcome((1, 0))] * 5
+        + [outcome((0, 0))] * 20
+        + [outcome((0, 1, 0))] * 2
+        + [outcome((1, 1, 0))] * 3
+    )
+    validator = SequentialValidator()
+    for item in outcomes:
+        validator.add(item)
+    assert validator.report == validate_outcomes(outcomes)
+    assert validator.n_experiments == len(outcomes)
+
+
+def test_signals_snapshot_is_consistent():
+    validator = SequentialValidator(min_transitions=4, target_relative_error=0.6)
+    validator.extend([outcome((0, 1))] * 2 + [outcome((1, 0))] * 2)
+    signals = validator.signals()
+    assert signals.n_experiments == 4
+    assert signals.transitions == 4
+    assert signals.violation_rate == 0.0
+    assert signals.transition_asymmetry == 0.0
+    assert signals.estimated_relative_error == validator.estimated_relative_error()
+    assert signals.should_stop == validator.should_stop()
+    assert signals.should_abort == validator.should_abort()
+    assert signals.should_stop  # 1/sqrt(4) = 0.5 <= 0.6, symmetric
+
+
+def test_signals_track_convergence():
+    validator = SequentialValidator(min_transitions=4, target_relative_error=0.6)
+    early = validator.signals()
+    assert early.n_experiments == 0
+    assert early.estimated_relative_error is None
+    assert not early.should_stop
+    validator.extend([outcome((0, 1))] * 2 + [outcome((1, 0))] * 2)
+    late = validator.signals()
+    assert late.estimated_relative_error < 1.0
+    assert late.should_stop
