@@ -18,7 +18,7 @@ import random
 import pytest
 
 from repro.config import TestbedConfig
-from repro.core.clock import Clock, deskew_probe_records
+from repro.core.clock import AffineClock, deskew_probe_records
 from repro.core.estimators import estimate_from_outcomes
 from repro.core.jitter import NoJitter, SpikeJitter, UniformJitter
 from repro.core.pinglike import PingLikeTool
@@ -113,7 +113,7 @@ def test_ablation_clock_skew(benchmark, profile, archive):
         result, truth = run_badabing(
             "episodic_cbr", p=0.5, n_slots=_cbr_n_slots(profile), seed=117,
             scenario_kwargs=CBR_KWARGS,
-            receiver_clock=Clock(offset=0.0, skew=2e-4),
+            receiver_clock=AffineClock(offset=0.0, skew=2e-4),
             keep=keep,
         )
         tool = keep["tool"]

@@ -7,6 +7,9 @@ Subcommands:
 * ``zing`` — run the Poisson baseline the same way;
 * ``table`` — reproduce one of the paper's tables (1-8);
 * ``figure`` — reproduce one of the paper's figures (4-9b);
+* ``live`` — run the probe process over real UDP sockets (``send`` to a
+  remote reflector, ``reflect`` to serve one, ``loopback`` for both ends
+  in one process);
 * ``obs`` — summarize or validate exported metrics/trace files;
 * ``list`` — show available scenarios, tables, and figures.
 """
@@ -353,6 +356,177 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_config(args: argparse.Namespace):
+    """Build the live run's BadabingConfig from CLI arguments."""
+    from repro.config import BadabingConfig, MarkingConfig, ProbeConfig
+    from repro.errors import ConfigurationError
+
+    n_slots = args.slots if args.slots else int(round(args.duration / args.slot))
+    if n_slots < 2:
+        raise ConfigurationError(
+            f"live run needs at least 2 slots (duration {args.duration}s "
+            f"at {args.slot}s slots gives {n_slots})"
+        )
+    return BadabingConfig(
+        probe=ProbeConfig(
+            slot=args.slot,
+            probe_size=args.size,
+            packets_per_probe=args.packets,
+        ),
+        marking=MarkingConfig(alpha=args.alpha, tau=args.tau),
+        p=args.p,
+        n_slots=n_slots,
+        improved=args.improved,
+    )
+
+
+def _live_budget(args: argparse.Namespace):
+    """Optional RunBudget from --max-packets / --max-seconds."""
+    from repro.experiments.runner import RunBudget
+
+    if not args.max_packets and not args.max_seconds:
+        return None
+    return RunBudget(
+        max_events=args.max_packets if args.max_packets else None,
+        max_wall_seconds=args.max_seconds if args.max_seconds else None,
+    )
+
+
+def _print_live_result(run, args: argparse.Namespace) -> int:
+    """Shared output path for ``live send`` and ``live loopback``."""
+    stats = run.stats
+    spec = run.spec
+    print(
+        f"live session {run.session_id:#x}: p={spec.p:.6f} N={spec.n_slots} "
+        f"slot={spec.slot_seconds * 1000:.1f}ms k={spec.packets_per_probe} "
+        f"(seed {args.seed})"
+    )
+    print(
+        f"packets sent: {stats.packets_sent} ({stats.trains_sent} trains)  "
+        f"echoes: {stats.echoes_received}  elapsed: {stats.elapsed_seconds:.3f}s"
+    )
+    if stats.stopped:
+        print(f"degraded: stopped early ({stats.stopped}); partial estimate")
+    result = run.result
+    print(f"estimated loss frequency: {result.frequency:.4f}")
+    duration = result.duration_seconds
+    duration_text = (
+        "n/a (no transitions observed)" if math.isnan(duration) else f"{duration:.3f}s"
+    )
+    print(f"estimated loss duration:  {duration_text}")
+    validation = result.validation
+    print(
+        f"validation: transitions={validation.transition_count} "
+        f"asymmetry={validation.transition_asymmetry:.3f} "
+        f"violations={validation.violations}"
+    )
+    _print_degraded_summary(result, None)
+    if run.reflector is not None:
+        summary = run.reflector
+        print(
+            f"reflector: received={summary.probes_received} "
+            f"echoed={summary.probes_echoed} "
+            f"impaired_drops={summary.impaired_drops} "
+            f"wire_errors={summary.wire_errors}"
+        )
+    if run.receiver_result is not None:
+        print(
+            "receiver cross-check: estimated loss frequency: "
+            f"{run.receiver_result.frequency:.4f}"
+        )
+    return 0
+
+
+def _finish_live_obs(run, metrics, tracer, args: argparse.Namespace) -> None:
+    if args.metrics_out:
+        write_metrics_document(args.metrics_out, metrics, run.manifest)
+        print(f"metrics written to {args.metrics_out}")
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.save:
+        print(f"trace saved to {args.save}")
+
+
+def _cmd_live_send(args: argparse.Namespace) -> int:
+    from repro.live import live_send
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = (
+        Tracer(tool="badabing-live", scenario="live-send", seed=args.seed)
+        if args.trace_out
+        else None
+    )
+    run = live_send(
+        args.host,
+        args.port,
+        config=_live_config(args),
+        seed=args.seed,
+        registry=metrics,
+        tracer=tracer,
+        budget=_live_budget(args),
+        trace_path=args.save or None,
+        handle_sigint=True,
+    )
+    status = _print_live_result(run, args)
+    _finish_live_obs(run, metrics, tracer, args)
+    return status
+
+
+def _cmd_live_reflect(args: argparse.Namespace) -> int:
+    from repro.live import live_reflect
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    print(f"reflecting on {args.host}:{args.port} (mode={args.mode}) — Ctrl-C to stop")
+    protocol = live_reflect(
+        host=args.host,
+        port=args.port,
+        faults=args.faults if args.faults != "none" else None,
+        seed=args.seed,
+        registry=metrics,
+        mode=args.mode,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        max_sessions=args.max_sessions if args.max_sessions else None,
+        handle_sigint=True,
+    )
+    sessions = protocol.sessions.values()
+    print(
+        f"served {len(protocol.sessions)} session(s): "
+        f"received={sum(s.probes_received for s in sessions)} "
+        f"echoed={sum(s.probes_echoed for s in sessions)} "
+        f"wire_errors={protocol.wire_errors} "
+        f"unknown_session={protocol.unknown_session}"
+    )
+    if args.metrics_out and metrics is not None:
+        write_metrics_document(args.metrics_out, metrics, None)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_live_loopback(args: argparse.Namespace) -> int:
+    from repro.live import live_loopback
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = (
+        Tracer(tool="badabing-live", scenario="live-loopback", seed=args.seed)
+        if args.trace_out
+        else None
+    )
+    run = live_loopback(
+        config=_live_config(args),
+        seed=args.seed,
+        faults=args.faults if args.faults != "none" else None,
+        registry=metrics,
+        tracer=tracer,
+        budget=_live_budget(args),
+        trace_path=args.save or None,
+        handle_sigint=True,
+    )
+    status = _print_live_result(run, args)
+    _finish_live_obs(run, metrics, tracer, args)
+    return status
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("scenarios:", ", ".join(sorted(SCENARIOS)))
     print("tables:   ", ", ".join(sorted(_tables.ALL_TABLES)))
@@ -414,6 +588,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(zing)
     _add_profile_argument(zing)
     zing.set_defaults(handler=_cmd_zing)
+
+    live = commands.add_parser(
+        "live", help="run the probe process over real UDP sockets"
+    )
+    live_commands = live.add_subparsers(dest="live_command", required=True)
+
+    def _add_live_probe_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--p", type=float, default=0.3, help="per-slot probe probability")
+        sub.add_argument("--slot", type=float, default=0.005, help="slot width in seconds")
+        sub.add_argument(
+            "--duration", type=float, default=30.0, help="measurement seconds (sets N)"
+        )
+        sub.add_argument(
+            "--slots", type=int, default=0, help="number of slots (overrides --duration)"
+        )
+        sub.add_argument("--packets", type=int, default=3, help="packets per probe train")
+        sub.add_argument("--size", type=int, default=600, help="probe size in bytes")
+        sub.add_argument("--alpha", type=float, default=0.1, help="§6.1 delay fraction")
+        sub.add_argument(
+            "--tau", type=float, default=0.080, help="§6.1 loss proximity window (s)"
+        )
+        sub.add_argument("--seed", type=int, default=1)
+        sub.add_argument(
+            "--improved", action="store_true", help="use the §5.3 improved algorithm"
+        )
+        sub.add_argument(
+            "--max-packets", type=int, default=0, help="stop after this many probe packets"
+        )
+        sub.add_argument(
+            "--max-seconds", type=float, default=0.0, help="stop after this much wall time"
+        )
+        sub.add_argument("--save", default="", help="stream the probe trace (JSONL) here")
+        _add_obs_arguments(sub)
+
+    live_send = live_commands.add_parser(
+        "send", help="probe a reflector at HOST:PORT"
+    )
+    live_send.add_argument("host", help="reflector address")
+    live_send.add_argument("port", type=int, help="reflector UDP port")
+    _add_live_probe_arguments(live_send)
+    live_send.set_defaults(handler=_cmd_live_send)
+
+    live_reflect = live_commands.add_parser(
+        "reflect", help="serve probe sessions (echo or sink)"
+    )
+    live_reflect.add_argument("--host", default="0.0.0.0", help="bind address")
+    live_reflect.add_argument("--port", type=int, default=5005, help="bind UDP port")
+    live_reflect.add_argument(
+        "--mode", choices=("echo", "sink"), default="echo", help="echo probes or only record"
+    )
+    live_reflect.add_argument(
+        "--faults",
+        choices=sorted(_FAULT_PROFILES),
+        default="none",
+        help="emulate forward-path loss with a named fault profile",
+    )
+    live_reflect.add_argument("--seed", type=int, default=1, help="impairment seed")
+    live_reflect.add_argument(
+        "--max-sessions", type=int, default=0, help="exit after this many finished sessions"
+    )
+    live_reflect.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="exit after a finished session plus this many idle seconds",
+    )
+    live_reflect.add_argument(
+        "--metrics-out", default="", help="write reflector metrics as JSON to this path"
+    )
+    live_reflect.set_defaults(handler=_cmd_live_reflect)
+
+    live_loopback = live_commands.add_parser(
+        "loopback", help="run sender and reflector in-process over 127.0.0.1"
+    )
+    _add_live_probe_arguments(live_loopback)
+    live_loopback.add_argument(
+        "--faults",
+        choices=sorted(_FAULT_PROFILES),
+        default="none",
+        help="emulate forward-path loss at the in-process reflector",
+    )
+    live_loopback.set_defaults(handler=_cmd_live_loopback)
 
     obs = commands.add_parser(
         "obs", help="inspect exported observability artifacts"

@@ -11,7 +11,8 @@
 * :mod:`repro.core.zing` — the ZING Poisson baseline (§4),
 * :mod:`repro.core.pinglike` — fixed-interval PING-like baseline,
 * :mod:`repro.core.jitter` — probe launch-time jitter models (host realism),
-* :mod:`repro.core.clock` — clock offset/skew models and removal (§7).
+* :mod:`repro.core.clock` — backend-agnostic time sources (sim vs wall
+  clock) plus clock offset/skew models and removal (§7).
 """
 
 from repro.core.records import ExperimentOutcome, ProbeRecord
@@ -28,7 +29,16 @@ from repro.core.badabing import BadabingResult, BadabingTool
 from repro.core.zing import ZingResult, ZingTool
 from repro.core.pinglike import PingLikeTool
 from repro.core.jitter import GaussianJitter, NoJitter, SpikeJitter, UniformJitter
-from repro.core.clock import Clock, deskew_probe_records, estimate_skew, remove_skew
+from repro.core.clock import (
+    AffineClock,
+    Clock,
+    MonotonicClock,
+    SimClock,
+    deskew_probe_records,
+    estimate_skew,
+    rebase_probe_owds,
+    remove_skew,
+)
 
 __all__ = [
     "ExperimentOutcome",
@@ -63,8 +73,12 @@ __all__ = [
     "UniformJitter",
     "GaussianJitter",
     "SpikeJitter",
+    "AffineClock",
     "Clock",
+    "MonotonicClock",
+    "SimClock",
     "deskew_probe_records",
     "estimate_skew",
+    "rebase_probe_owds",
     "remove_skew",
 ]

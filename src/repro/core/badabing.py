@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import BadabingConfig, MarkingConfig
-from repro.core.clock import Clock
+from repro.core.clock import AffineClock, Clock, SimClock
 from repro.core.estimators import LossEstimate, estimate_from_outcomes
 from repro.core.jitter import JitterModel, NoJitter
 from repro.core.marking import CongestionMarker, MarkingResult
@@ -113,7 +113,7 @@ class _ProbeSender(Application):
 
     def _emit_packet(self, slot: int, index: int) -> None:
         now = self.sim.now
-        stamp = self.clock.read(now)
+        stamp = self.clock.now()
         self.sent[(slot, index)] = (now, stamp)
         self.send_packet(
             self.dst,
@@ -171,7 +171,7 @@ class _ProbeReceiver(Application):
             self._max_key = key
         else:
             self.late_arrivals += 1
-        self.received[key] = self.clock.read(self.sim.now)
+        self.received[key] = self.clock.now()
 
 
 @dataclass
@@ -211,6 +211,71 @@ class BadabingResult:
         return sum(probe.lost_packets for probe in self.probes)
 
 
+def filter_blackouts(
+    probes: List[ProbeRecord],
+    blackout_windows: Optional[List[Tuple[float, float]]],
+) -> List[ProbeRecord]:
+    """Drop probes sent inside known collector-outage windows."""
+    if not blackout_windows:
+        return probes
+    return [
+        probe
+        for probe in probes
+        if not any(
+            start <= probe.send_time < end for start, end in blackout_windows
+        )
+    ]
+
+
+def assemble_result(
+    schedule: GeometricSchedule,
+    probes: List[ProbeRecord],
+    config: BadabingConfig,
+    marker: Optional[CongestionMarker] = None,
+    blackout_windows: Optional[List[Tuple[float, float]]] = None,
+    duplicate_arrivals: int = 0,
+    tracer: Optional["Tracer"] = None,
+) -> BadabingResult:
+    """Marking + estimation + validation over a joined probe stream.
+
+    This is THE estimator path: both measurement backends — the simulator
+    (:class:`BadabingTool`) and the live asyncio runtime
+    (:mod:`repro.live`) — funnel their probe records through this one
+    function, so estimator/validator behaviour cannot fork between them.
+    ``probes`` must be sorted by send time; ``blackout_windows`` lists
+    ``(start, end)`` send-time intervals during which the collector is
+    known to have been down — probes inside them are excluded (degrading
+    coverage) rather than mistaken for total loss.
+    """
+    probes = filter_blackouts(probes, blackout_windows)
+    if marker is None:
+        marker = CongestionMarker(config.marking)
+    with trace_span(tracer, "probe.mark", n_probes=len(probes)):
+        marked = marker.mark(probes)
+    outcomes = schedule.outcomes_from_states(marked.slot_states)
+    coverage = schedule.coverage_from_states(marked.slot_states)
+    with trace_span(tracer, "probe.estimate"):
+        estimate = estimate_from_outcomes(
+            outcomes, improved=config.improved, coverage=coverage
+        )
+    with trace_span(tracer, "probe.validate"):
+        validation = validate_outcomes(outcomes, coverage=coverage)
+    return BadabingResult(
+        estimate=estimate,
+        validation=validation,
+        marking=marked,
+        probes=probes,
+        outcomes=outcomes,
+        n_probes_sent=schedule.n_probes,
+        probe_load_bps=schedule.probe_load_bps(
+            config.probe.packets_per_probe, config.probe.probe_size, config.probe.slot
+        ),
+        slot_width=config.probe.slot,
+        coverage=coverage,
+        duplicate_arrivals=duplicate_arrivals,
+    )
+
+
 class BadabingTool:
     """Deploy BADABING between two hosts of a simulation.
 
@@ -227,8 +292,8 @@ class BadabingTool:
         config: Optional[BadabingConfig] = None,
         start: float = 0.0,
         jitter: Optional[JitterModel] = None,
-        sender_clock: Optional[Clock] = None,
-        receiver_clock: Optional[Clock] = None,
+        sender_clock: Optional[AffineClock] = None,
+        receiver_clock: Optional[AffineClock] = None,
         rng_label: str = "badabing",
         tracer: Optional["Tracer"] = None,
     ):
@@ -245,7 +310,7 @@ class BadabingTool:
         self.receiver = _ProbeReceiver(
             sim,
             receiver_host,
-            receiver_clock if receiver_clock is not None else Clock(),
+            SimClock(sim, receiver_clock),
             port=receiver_port,
         )
         self.sender = _ProbeSender(
@@ -260,7 +325,7 @@ class BadabingTool:
             cfg.probe.intra_probe_gap,
             start,
             jitter if jitter is not None else NoJitter(),
-            sender_clock if sender_clock is not None else Clock(),
+            SimClock(sim, sender_clock),
             rng_label,
         )
         self.marker = CongestionMarker(cfg.marking)
@@ -347,14 +412,7 @@ class BadabingTool:
         if probes is None:
             with trace_span(self.tracer, "probe.join"):
                 probes = self.probe_records()
-        if blackout_windows:
-            probes = [
-                probe
-                for probe in probes
-                if not any(
-                    start <= probe.send_time < end for start, end in blackout_windows
-                )
-            ]
+        probes = filter_blackouts(probes, blackout_windows)
         if not self._loss_recorded and self.sim.metrics.enabled:
             # Record receiver-side loss once (result() may be re-invoked to
             # re-mark the same logs under other parameters).
@@ -363,28 +421,11 @@ class BadabingTool:
                 sum(probe.lost_packets for probe in probes)
             )
         marker = CongestionMarker(marking) if marking is not None else self.marker
-        with trace_span(self.tracer, "probe.mark", n_probes=len(probes)):
-            marked = marker.mark(probes)
-        outcomes = self.schedule.outcomes_from_states(marked.slot_states)
-        coverage = self.schedule.coverage_from_states(marked.slot_states)
-        with trace_span(self.tracer, "probe.estimate"):
-            estimate = estimate_from_outcomes(
-                outcomes, improved=self.config.improved, coverage=coverage
-            )
-        cfg = self.config
-        with trace_span(self.tracer, "probe.validate"):
-            validation = validate_outcomes(outcomes, coverage=coverage)
-        return BadabingResult(
-            estimate=estimate,
-            validation=validation,
-            marking=marked,
-            probes=probes,
-            outcomes=outcomes,
-            n_probes_sent=self.schedule.n_probes,
-            probe_load_bps=self.schedule.probe_load_bps(
-                cfg.probe.packets_per_probe, cfg.probe.probe_size, cfg.probe.slot
-            ),
-            slot_width=cfg.probe.slot,
-            coverage=coverage,
+        return assemble_result(
+            self.schedule,
+            probes,
+            self.config,
+            marker=marker,
             duplicate_arrivals=self.receiver.duplicate_arrivals,
+            tracer=self.tracer,
         )

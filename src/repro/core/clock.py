@@ -1,12 +1,26 @@
-"""Clock models and skew removal (§7).
+"""Clock sources, clock models, and skew removal (§7).
 
-One-way delay thresholds require the two hosts' clocks to agree. The paper
-notes that offset is trivially removable but *skew* (clocks running at
-slightly different rates) is a real concern, pointing at on-line and
-off-line synchronization algorithms. This module provides:
+Two distinct concerns share this module:
 
-* :class:`Clock` — an affine clock model ``c(t) = t(1 + skew) + offset``
-  attached to measurement hosts,
+**Time sources.** The measurement pipeline (schedule walking, probe
+timestamping, marking, streaming estimation) must not care whether time
+comes from the discrete-event simulator or from a real host. The
+:class:`Clock` protocol is that seam: anything with ``now()`` /
+``now_ns()`` is a clock. :class:`SimClock` adapts a simulator (optionally
+through an affine skew model) and :class:`MonotonicClock` reads the real
+``time.monotonic_ns`` wall clock for the live runtime
+(:mod:`repro.live`). All pipeline code downstream of a clock works in
+float seconds of *that clock's* domain — nothing assumes simulator
+seconds specifically.
+
+**Clock error models and their removal.** One-way delay thresholds
+require the two hosts' clocks to agree. The paper notes that offset is
+trivially removable but *skew* (clocks running at slightly different
+rates) is a real concern, pointing at on-line and off-line
+synchronization algorithms:
+
+* :class:`AffineClock` — an affine clock model ``c(t) = t(1 + skew) +
+  offset`` attached to measurement hosts,
 * :func:`estimate_skew` — the classic convex-hull/lower-envelope linear fit
   (Moon-Skelly-Towsley style): fit the line that lies *below* every
   (send-time, measured-OWD) point and minimizes the total area between the
@@ -15,21 +29,50 @@ off-line synchronization algorithms. This module provides:
 * :func:`remove_skew` — subtract the fitted trend from measured delays,
   re-anchored at the fitted envelope (so de-skewed OWDs stay positive),
 * :func:`deskew_probe_records` — the same correction applied in place over
-  a BADABING probe-record stream before marking.
+  a BADABING probe-record stream before marking,
+* :func:`rebase_probe_owds` — the "trivial" offset removal: shift all
+  one-way delays so the smallest observed delay becomes the propagation
+  baseline. Required before §6.1 marking when sender and receiver
+  timestamps come from unsynchronized clocks (the live one-way path),
+  because the ``(1 − alpha) × OWD_max`` threshold scales any constant
+  offset by ``alpha`` instead of cancelling it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+import time
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.errors import EstimationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.records import ProbeRecord
+    from repro.net.simulator import Simulator
 
 
-class Clock:
-    """Affine host clock: reads ``t * (1 + skew) + offset`` at true time t."""
+@runtime_checkable
+class Clock(Protocol):
+    """Backend-agnostic time source.
+
+    ``now()`` returns seconds and ``now_ns()`` integer nanoseconds of the
+    same instant; implementations must keep the two consistent, but the
+    epoch is implementation-defined (simulation start, process start, …) —
+    consumers may only difference readings from the *same* clock.
+    """
+
+    def now(self) -> float:
+        """Current time in float seconds of this clock's domain."""
+        ...  # pragma: no cover - protocol
+
+    def now_ns(self) -> int:
+        """Current time in integer nanoseconds of this clock's domain."""
+        ...  # pragma: no cover - protocol
+
+
+class AffineClock:
+    """Affine host clock *model*: reads ``t * (1 + skew) + offset`` at true
+    time t. Not itself a time source — pair it with a :class:`SimClock` to
+    emulate a drifting host on the simulator backend."""
 
     def __init__(self, offset: float = 0.0, skew: float = 0.0):
         if skew <= -1.0:
@@ -40,6 +83,43 @@ class Clock:
     def read(self, true_time: float) -> float:
         """Timestamp this clock produces at the given true time."""
         return true_time * (1.0 + self.skew) + self.offset
+
+
+class SimClock:
+    """Simulator-backed :class:`Clock`, optionally skewed by a model.
+
+    ``SimClock(sim)`` reads virtual time directly; ``SimClock(sim, model)``
+    reads what a host carrying that :class:`AffineClock` would stamp at
+    the current virtual instant.
+    """
+
+    def __init__(self, sim: "Simulator", model: Optional[AffineClock] = None):
+        self.sim = sim
+        self.model = model
+
+    def now(self) -> float:
+        true_time = self.sim.now
+        return self.model.read(true_time) if self.model is not None else true_time
+
+    def now_ns(self) -> int:
+        return int(round(self.now() * 1e9))
+
+
+class MonotonicClock:
+    """Wall :class:`Clock` over ``time.monotonic_ns`` (the live backend).
+
+    Monotonic rather than wall-calendar time: immune to NTP steps, which
+    would otherwise masquerade as loss-episode-scale delay shifts. Each
+    host's epoch is arbitrary, so live one-way delays carry an unknown
+    constant offset — remove it with :func:`rebase_probe_owds` before
+    marking.
+    """
+
+    def now(self) -> float:
+        return time.monotonic_ns() / 1e9
+
+    def now_ns(self) -> int:
+        return time.monotonic_ns()
 
 
 def lower_convex_hull(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
@@ -156,3 +236,49 @@ def deskew_probe_records(probes: Sequence["ProbeRecord"]) -> List["ProbeRecord"]
             )
         )
     return cleaned
+
+
+def rebase_probe_owds(
+    probes: Sequence["ProbeRecord"], baseline: float = 0.0
+) -> List["ProbeRecord"]:
+    """Remove the constant clock offset from a probe stream's OWDs.
+
+    Shifts every one-way delay (including the ``owd_before_loss``
+    estimates) so the smallest observed delay maps to ``baseline``. This
+    is the paper's "trivially removable" offset correction: with
+    unsynchronized sender/receiver clocks (two hosts' independent
+    monotonic epochs) raw OWDs are ``true_delay + C`` for an unknown —
+    possibly enormous, possibly negative — constant ``C``. Marking's
+    ``max_owd > (1 − alpha) × mean(OWD_max)`` comparison does *not*
+    cancel ``C`` (alpha scales it), so live one-way records must pass
+    through here first. Records with no delivered packets pass through
+    unchanged; an empty or delivery-free stream is returned as-is.
+    """
+    from repro.core.records import ProbeRecord as _ProbeRecord
+
+    minimum: Optional[float] = None
+    for probe in probes:
+        for owd in probe.owds:
+            if minimum is None or owd < minimum:
+                minimum = owd
+    if minimum is None:
+        return list(probes)
+    shift = minimum - baseline
+    if shift == 0.0:
+        return list(probes)
+    rebased: List["ProbeRecord"] = []
+    for probe in probes:
+        rebased.append(
+            _ProbeRecord(
+                slot=probe.slot,
+                send_time=probe.send_time,
+                n_packets=probe.n_packets,
+                owds=tuple(owd - shift for owd in probe.owds),
+                owd_before_loss=(
+                    probe.owd_before_loss - shift
+                    if probe.owd_before_loss is not None
+                    else None
+                ),
+            )
+        )
+    return rebased

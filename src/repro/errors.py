@@ -32,6 +32,20 @@ class TraceFormatError(ConfigurationError):
         self.line_number = line_number
 
 
+class WireFormatError(ConfigurationError):
+    """A live-runtime datagram violated the binary wire format.
+
+    Raised by :mod:`repro.live.wire` on short reads, bad magic, version
+    skew, and out-of-range fields. This is the *only* exception the
+    decoders raise, so a reflector can count-and-drop malformed datagrams
+    without ever crashing on hostile input.
+    """
+
+
+class LiveSessionError(ReproError):
+    """A live measurement session failed (handshake timeout, bind error)."""
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 

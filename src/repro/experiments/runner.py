@@ -26,7 +26,7 @@ from repro.analysis.slots import true_frequency
 from repro.analysis.stats import mean_std
 from repro.config import BadabingConfig, MarkingConfig, ProbeConfig, TestbedConfig
 from repro.core.badabing import BadabingResult, BadabingTool
-from repro.core.clock import Clock
+from repro.core.clock import AffineClock
 from repro.core.jitter import JitterModel
 from repro.core.zing import ZingResult, ZingTool
 from repro.errors import (
@@ -276,8 +276,8 @@ def run_badabing(
     scenario_kwargs: Optional[Dict[str, Any]] = None,
     warmup: float = 10.0,
     jitter: Optional[JitterModel] = None,
-    sender_clock: Optional[Clock] = None,
-    receiver_clock: Optional[Clock] = None,
+    sender_clock: Optional[AffineClock] = None,
+    receiver_clock: Optional[AffineClock] = None,
     faults: Union[str, FaultProfile, None] = None,
     max_events: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,

@@ -12,6 +12,7 @@ without re-running the simulation.
 from repro.io.traces import (
     Measurement,
     TraceDiagnostic,
+    TraceWriter,
     load_measurement,
     reestimate,
     save_measurement,
@@ -20,6 +21,7 @@ from repro.io.traces import (
 __all__ = [
     "Measurement",
     "TraceDiagnostic",
+    "TraceWriter",
     "load_measurement",
     "reestimate",
     "save_measurement",

@@ -92,6 +92,94 @@ def measurement_from_tool(
     )
 
 
+def _header_line(
+    slot_width: float,
+    n_slots: int,
+    p: float,
+    experiments: List[Experiment],
+    metadata: Dict[str, Any],
+) -> str:
+    header = {
+        "type": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "slot_width": slot_width,
+        "n_slots": n_slots,
+        "p": p,
+        "metadata": metadata,
+        "experiments": [
+            [experiment.start_slot, experiment.length]
+            for experiment in experiments
+        ],
+    }
+    return json.dumps(header)
+
+
+def _probe_line(probe: ProbeRecord) -> str:
+    return json.dumps(
+        {
+            "slot": probe.slot,
+            "t": probe.send_time,
+            "n": probe.n_packets,
+            "owds": list(probe.owds),
+            "obl": probe.owd_before_loss,
+        }
+    )
+
+
+class TraceWriter:
+    """Incremental trace writer for long-running (live) measurements.
+
+    The batch :func:`save_measurement` needs the whole probe list up
+    front; a live session instead knows its *schedule* at start and grows
+    its probe log over minutes or hours. The writer puts the header on
+    disk immediately and flushes each probe line as it is appended, so a
+    crash (or Ctrl-C) mid-session leaves a trace that is valid up to the
+    last completed line — and :func:`load_measurement` with
+    ``recover=True`` shrugs off the torn final line a hard kill can leave.
+
+    Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        slot_width: float,
+        n_slots: int,
+        p: float,
+        experiments: List[Experiment],
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        try:
+            self._handle = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise TraceFormatError(f"cannot write trace {path}: {exc}") from exc
+        self.path = path
+        self.probes_written = 0
+        self._handle.write(
+            _header_line(slot_width, n_slots, p, experiments, dict(metadata or {}))
+            + "\n"
+        )
+        self._handle.flush()
+
+    def write_probe(self, probe: ProbeRecord) -> None:
+        if self._handle is None:
+            raise TraceFormatError(f"trace writer for {self.path} is closed")
+        self._handle.write(_probe_line(probe) + "\n")
+        self._handle.flush()
+        self.probes_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
 def save_measurement(
     path: PathLike,
     measurement: Union[Measurement, BadabingTool],
@@ -102,33 +190,16 @@ def save_measurement(
         measurement = measurement_from_tool(measurement, metadata)
     elif metadata:
         measurement.metadata.update(metadata)
-    header = {
-        "type": FORMAT_NAME,
-        "version": FORMAT_VERSION,
-        "slot_width": measurement.slot_width,
-        "n_slots": measurement.n_slots,
-        "p": measurement.p,
-        "metadata": measurement.metadata,
-        "experiments": [
-            [experiment.start_slot, experiment.length]
-            for experiment in measurement.experiments
-        ],
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(header) + "\n")
+    with TraceWriter(
+        path,
+        measurement.slot_width,
+        measurement.n_slots,
+        measurement.p,
+        measurement.experiments,
+        measurement.metadata,
+    ) as writer:
         for probe in measurement.probes:
-            handle.write(
-                json.dumps(
-                    {
-                        "slot": probe.slot,
-                        "t": probe.send_time,
-                        "n": probe.n_packets,
-                        "owds": list(probe.owds),
-                        "obl": probe.owd_before_loss,
-                    }
-                )
-                + "\n"
-            )
+            writer.write_probe(probe)
 
 
 def _parse_probe_line(line: str) -> ProbeRecord:

@@ -1,0 +1,474 @@
+"""Live runtime orchestration: send, reflect, and loopback sessions.
+
+Everything here composes the lower layers — :mod:`repro.live.wire`
+datagrams, the :mod:`repro.live.sender` schedule walker, the
+:mod:`repro.live.reflector` state machine — into the three entry points
+the CLI exposes:
+
+* :func:`run_live_send` — drive a measurement against a remote reflector
+  and return a :class:`LiveRunResult` whose ``result`` is a plain
+  :class:`~repro.core.badabing.BadabingResult`, built by the *same*
+  :func:`~repro.core.badabing.assemble_result` path as simulator runs;
+* :func:`run_live_reflector` — serve sessions until stopped or idle;
+* :func:`run_live_loopback` — both ends in one process over 127.0.0.1,
+  with the deterministic :mod:`repro.live.impair` shim standing in for a
+  lossy network (how CI exercises the runtime without real loss).
+
+While a session runs, a :class:`StreamingMonitor` folds the collected
+probe prefix into the §5.4 :class:`~repro.core.validation.SequentialValidator`
+exactly as the simulator's convergence telemetry does, publishes the
+running F̂ as the ``live.frequency`` series, and (optionally) streams
+finalized records into an incremental :class:`~repro.io.traces.TraceWriter`
+so a crash loses at most the unfinalized tail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+from math import floor
+from typing import Dict, List, Optional, Union
+
+from repro.config import BadabingConfig, MarkingConfig
+from repro.core.badabing import BadabingResult, assemble_result
+from repro.core.clock import Clock, MonotonicClock, rebase_probe_owds
+from repro.core.estimators import frequency_from_counter
+from repro.core.records import ExperimentOutcome, ProbeRecord
+from repro.core.schedule import GeometricSchedule
+from repro.core.validation import SequentialValidator
+from repro.errors import EstimationError, LiveSessionError
+from repro.experiments.runner import RunBudget
+from repro.io.traces import TraceWriter
+from repro.live.impair import build_impairment
+from repro.live.reflector import ReflectorProtocol, start_reflector
+from repro.live.sender import LiveSender, SenderStats, open_sender
+from repro.live.session import (
+    config_from_spec,
+    make_session_id,
+    schedule_from_spec,
+    spec_for,
+)
+from repro.live.wire import SessionSpec
+from repro.net.faults import FaultProfile
+from repro.net.simulator import _stable_seed
+from repro.obs.manifest import RunManifest, config_digest, summarize_snapshot
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.tracing import Tracer, trace_span
+
+#: Extra settle time past tau before a slot's marking is considered final
+#: in the streaming view (covers echo latency + scheduler jitter).
+FINALIZE_MARGIN = 0.25
+
+
+class StreamingMonitor:
+    """Incremental §5.4 feed + trace persistence over a growing probe log.
+
+    ``observe(records, elapsed)`` is called by the sender with the full
+    joined record list so far. Experiments whose last slot ended more
+    than ``tau + margin`` seconds ago are *finalized*: their outcomes are
+    folded into the sequential validator (in start-slot order, exactly
+    once), the running F̂ is appended to the ``live.frequency`` series,
+    and the finalized records are flushed to the trace writer. The final
+    authoritative result is still recomputed from scratch by
+    :func:`~repro.core.badabing.assemble_result` — this monitor is the
+    live view, not a second estimator.
+    """
+
+    def __init__(
+        self,
+        schedule: GeometricSchedule,
+        config: BadabingConfig,
+        registry: Optional[MetricsRegistry] = None,
+        writer: Optional[TraceWriter] = None,
+        margin: float = FINALIZE_MARGIN,
+    ):
+        from repro.core.marking import CongestionMarker
+
+        self.schedule = schedule
+        self.config = config
+        self.registry = registry if registry is not None else NullRegistry()
+        self.writer = writer
+        self.margin = margin
+        self.marker = CongestionMarker(config.marking)
+        self.validator = SequentialValidator()
+        self._experiments = sorted(
+            schedule.experiments, key=lambda experiment: experiment.start_slot
+        )
+        self._next_experiment = 0
+        self.skipped_experiments = 0
+        self._written_slots: set = set()
+        self._series = (
+            self.registry.series("live.frequency", role="sender")
+            if self.registry.enabled
+            else None
+        )
+
+    @property
+    def fed_experiments(self) -> int:
+        return self.validator.n_experiments
+
+    def observe(self, records: List[ProbeRecord], elapsed: float) -> None:
+        """Fold the finalized prefix of ``records`` into the live view."""
+        horizon = elapsed - self.config.marking.tau - self.margin
+        if horizon <= 0:
+            return
+        finalize_slot = floor(horizon / self.config.probe.slot)
+        self._advance(records, finalize_slot)
+
+    def finish(self, records: List[ProbeRecord]) -> None:
+        """Session over: everything collected is final."""
+        self._advance(records, self.schedule.n_slots)
+
+    def _advance(self, records: List[ProbeRecord], finalize_slot: int) -> None:
+        # Rebase + mark the whole prefix each time: the offset estimate and
+        # the OWD_max history both sharpen as the log grows, so late calls
+        # re-derive earlier slots' states — but outcomes already fed to the
+        # validator are never re-fed (streaming estimates are a view, and
+        # the end-of-run result recomputes everything authoritatively).
+        states: Dict[int, bool] = self.marker.mark(
+            rebase_probe_owds(records)
+        ).slot_states
+        while self._next_experiment < len(self._experiments):
+            experiment = self._experiments[self._next_experiment]
+            if experiment.start_slot + experiment.length > finalize_slot:
+                break
+            bits = [states.get(slot) for slot in experiment.slots]
+            if any(bit is None for bit in bits):
+                # Slots the sender never reached (budget stop) or whose
+                # probes are gone entirely; coverage accounting at the end
+                # owns these, the streaming view just skips them.
+                self.skipped_experiments += 1
+            else:
+                self.validator.add(
+                    ExperimentOutcome(
+                        experiment.start_slot, tuple(int(bit) for bit in bits)
+                    )
+                )
+            self._next_experiment += 1
+        counter = self.validator.pattern_counter
+        if self._series is not None and counter.get("M"):
+            last = records[-1].send_time if records else 0.0
+            self._series.append(last, frequency_from_counter(counter))
+        if self.writer is not None:
+            for record in records:
+                if record.slot < finalize_slot and record.slot not in self._written_slots:
+                    self._written_slots.add(record.slot)
+                    self.writer.write_probe(record)
+
+
+@dataclass
+class ReflectorSummary:
+    """Reflector-side accounting carried back from a loopback run."""
+
+    probes_received: int = 0
+    probes_echoed: int = 0
+    impaired_drops: int = 0
+    duplicate_arrivals: int = 0
+    wire_errors: int = 0
+    unknown_session: int = 0
+
+    @classmethod
+    def from_protocol(cls, protocol: ReflectorProtocol) -> "ReflectorSummary":
+        sessions = protocol.sessions.values()
+        return cls(
+            probes_received=sum(s.probes_received for s in sessions),
+            probes_echoed=sum(s.probes_echoed for s in sessions),
+            impaired_drops=sum(s.impaired_drops for s in sessions),
+            duplicate_arrivals=sum(s.duplicate_arrivals for s in sessions),
+            wire_errors=protocol.wire_errors,
+            unknown_session=protocol.unknown_session,
+        )
+
+
+@dataclass
+class LiveRunResult:
+    """One live sender session's full output."""
+
+    #: The standard result object — audit/report/render consumers see the
+    #: exact same shape a simulator run produces.
+    result: BadabingResult
+    spec: SessionSpec
+    schedule: GeometricSchedule
+    session_id: int
+    stats: SenderStats
+    #: Present for loopback runs (both ends in-process).
+    reflector: Optional[ReflectorSummary] = None
+    #: Reflector-side one-way estimate for the same session (loopback
+    #: cross-check; None when the reflector saw too little to estimate).
+    receiver_result: Optional[BadabingResult] = None
+
+    @property
+    def frequency(self) -> float:
+        return self.result.frequency
+
+    @property
+    def manifest(self) -> Optional[RunManifest]:
+        return self.result.manifest
+
+
+def _live_manifest(
+    seed: int,
+    live_config: BadabingConfig,
+    stats: SenderStats,
+    registry: MetricsRegistry,
+) -> RunManifest:
+    """Provenance record mirroring the simulator runner's manifests.
+
+    ``sim_seconds`` carries the *measurement* seconds (the live analogue
+    of virtual time) and ``events_processed`` the probe packets sent, so
+    manifest consumers see comparable shapes across backends.
+    """
+    from repro import __version__
+
+    return RunManifest(
+        tool="badabing-live",
+        seed=seed,
+        config_digest=config_digest(live_config),
+        package_version=__version__,
+        sim_seconds=stats.elapsed_seconds,
+        wall_seconds=stats.elapsed_seconds,
+        events_processed=stats.packets_sent,
+        metrics=summarize_snapshot(registry.snapshot()) if registry.enabled else {},
+    )
+
+
+def _install_sigint(loop: asyncio.AbstractEventLoop, stop_event: asyncio.Event) -> bool:
+    """Route Ctrl-C into a graceful stop; False where signals are unavailable."""
+    try:
+        loop.add_signal_handler(signal.SIGINT, stop_event.set)
+        return True
+    except (NotImplementedError, ValueError, RuntimeError):
+        return False
+
+
+def _remove_sigint(loop: asyncio.AbstractEventLoop) -> None:
+    try:
+        loop.remove_signal_handler(signal.SIGINT)
+    except (NotImplementedError, ValueError, RuntimeError):  # pragma: no cover
+        pass
+
+
+async def run_live_send(
+    host: str,
+    port: int,
+    config: Optional[BadabingConfig] = None,
+    seed: int = 1,
+    marking: Optional[MarkingConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    budget: Optional[RunBudget] = None,
+    stop_event: Optional[asyncio.Event] = None,
+    trace_path: Optional[str] = None,
+    clock: Optional[Clock] = None,
+    handle_sigint: bool = False,
+) -> LiveRunResult:
+    """One full live measurement against a reflector at ``host:port``.
+
+    Raises :class:`~repro.errors.LiveSessionError` when the reflector
+    never answers the handshake, and
+    :class:`~repro.errors.EstimationError` when the session ended before
+    producing a single usable experiment. A stop (Ctrl-C with
+    ``handle_sigint``, the ``stop_event``, or an exhausted
+    :class:`~repro.experiments.runner.RunBudget`) degrades gracefully:
+    outstanding echoes are drained and the partial record stream is
+    estimated with reduced coverage.
+    """
+    config = config if config is not None else BadabingConfig()
+    clock = clock if clock is not None else MonotonicClock()
+    registry = registry if registry is not None else NullRegistry()
+    stop_event = stop_event if stop_event is not None else asyncio.Event()
+    spec = spec_for(config, seed)
+    schedule = schedule_from_spec(spec)
+    live_config = config_from_spec(
+        spec, marking if marking is not None else config.marking
+    )
+    session_id = make_session_id(seed)
+    writer = (
+        TraceWriter(
+            trace_path,
+            live_config.probe.slot,
+            live_config.n_slots,
+            live_config.p,
+            list(schedule.experiments),
+            metadata={
+                "tool": "badabing-live",
+                "seed": seed,
+                "session": session_id,
+                "probe_size": spec.probe_size,
+                "clock_domain": "monotonic",
+            },
+        )
+        if trace_path
+        else None
+    )
+    monitor = StreamingMonitor(schedule, live_config, registry, writer=writer)
+    transport, protocol = await open_sender(host, port, session_id, clock=clock)
+    loop = asyncio.get_running_loop()
+    sigint_installed = handle_sigint and _install_sigint(loop, stop_event)
+    try:
+        sender = LiveSender(
+            transport,
+            protocol,
+            spec,
+            schedule,
+            clock=clock,
+            registry=registry,
+            budget=budget,
+            stop_event=stop_event,
+            on_progress=monitor.observe,
+        )
+        with trace_span(
+            tracer, "live.session", host=host, port=port, n_slots=spec.n_slots
+        ):
+            records = await sender.run()
+        monitor.finish(records)
+    finally:
+        if sigint_installed:
+            _remove_sigint(loop)
+        if writer is not None:
+            writer.close()
+        transport.close()
+    stats = sender.stats
+    probes = rebase_probe_owds(records)
+    with trace_span(tracer, "live.assemble", n_probes=len(probes)):
+        result = assemble_result(
+            schedule,
+            probes,
+            live_config,
+            duplicate_arrivals=stats.duplicate_echoes,
+            tracer=tracer,
+        )
+    result.manifest = _live_manifest(seed, live_config, stats, registry)
+    return LiveRunResult(
+        result=result,
+        spec=spec,
+        schedule=schedule,
+        session_id=session_id,
+        stats=stats,
+    )
+
+
+async def run_live_reflector(
+    host: str = "127.0.0.1",
+    port: int = 5005,
+    faults: Union[str, FaultProfile, None] = None,
+    seed: int = 1,
+    registry: Optional[MetricsRegistry] = None,
+    mode: str = "echo",
+    stop_event: Optional[asyncio.Event] = None,
+    idle_timeout: Optional[float] = None,
+    max_sessions: Optional[int] = None,
+    handle_sigint: bool = False,
+) -> ReflectorProtocol:
+    """Serve reflector sessions until stopped, idle, or session-budget.
+
+    ``idle_timeout`` ends service once at least one session finished and
+    no datagram has arrived for that many seconds; ``max_sessions`` ends
+    it once that many sessions have all finished. With neither, only the
+    stop event (or Ctrl-C with ``handle_sigint``) ends it.
+    """
+    registry = registry if registry is not None else NullRegistry()
+    stop_event = stop_event if stop_event is not None else asyncio.Event()
+    impair_seed = _stable_seed(seed, "live-impair")
+    impairment_for = (
+        (lambda _session_id: build_impairment(faults, impair_seed))
+        if faults is not None
+        else None
+    )
+    transport, protocol = await start_reflector(
+        host,
+        port,
+        registry=registry,
+        impairment_for=impairment_for,
+        mode=mode,
+    )
+    loop = asyncio.get_running_loop()
+    sigint_installed = handle_sigint and _install_sigint(loop, stop_event)
+    try:
+        while not stop_event.is_set():
+            await asyncio.sleep(0.2)
+            sessions = protocol.sessions
+            finished = sum(1 for session in sessions.values() if session.finished)
+            if max_sessions is not None and finished >= max_sessions:
+                break
+            if idle_timeout is not None and finished and finished == len(sessions):
+                idle = (protocol.clock.now_ns() - protocol.last_activity_ns) / 1e9
+                if idle >= idle_timeout:
+                    break
+    finally:
+        if sigint_installed:
+            _remove_sigint(loop)
+        transport.close()
+    return protocol
+
+
+async def run_live_loopback(
+    config: Optional[BadabingConfig] = None,
+    seed: int = 1,
+    faults: Union[str, FaultProfile, None] = None,
+    marking: Optional[MarkingConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    budget: Optional[RunBudget] = None,
+    trace_path: Optional[str] = None,
+    stop_event: Optional[asyncio.Event] = None,
+    handle_sigint: bool = False,
+) -> LiveRunResult:
+    """Both ends in one process over 127.0.0.1 (CI's live smoke test).
+
+    The reflector gets the deterministic impairment shim for ``faults``
+    (seeded from ``seed``, so the realized drop pattern is replayable),
+    the sender runs a normal session against it, and the result carries
+    both the sender-side estimate and the reflector's own one-way
+    cross-check.
+    """
+    registry = registry if registry is not None else NullRegistry()
+    impair_seed = _stable_seed(seed, "live-impair")
+    reflector_transport, reflector = await start_reflector(
+        "127.0.0.1",
+        0,
+        registry=registry,
+        impairment_for=lambda _session_id: build_impairment(faults, impair_seed),
+        mode="echo",
+    )
+    port = reflector_transport.get_extra_info("sockname")[1]
+    try:
+        run = await run_live_send(
+            "127.0.0.1",
+            port,
+            config=config,
+            seed=seed,
+            marking=marking,
+            registry=registry,
+            tracer=tracer,
+            budget=budget,
+            stop_event=stop_event,
+            trace_path=trace_path,
+            handle_sigint=handle_sigint,
+        )
+    finally:
+        reflector_transport.close()
+    run.reflector = ReflectorSummary.from_protocol(reflector)
+    if marking is None and config is not None:
+        marking = config.marking
+    try:
+        run.receiver_result = reflector.result_for(run.session_id, marking)
+    except (EstimationError, LiveSessionError):
+        run.receiver_result = None
+    return run
+
+
+def live_send(*args, **kwargs) -> LiveRunResult:
+    """Synchronous wrapper around :func:`run_live_send`."""
+    return asyncio.run(run_live_send(*args, **kwargs))
+
+
+def live_reflect(*args, **kwargs) -> ReflectorProtocol:
+    """Synchronous wrapper around :func:`run_live_reflector`."""
+    return asyncio.run(run_live_reflector(*args, **kwargs))
+
+
+def live_loopback(*args, **kwargs) -> LiveRunResult:
+    """Synchronous wrapper around :func:`run_live_loopback`."""
+    return asyncio.run(run_live_loopback(*args, **kwargs))

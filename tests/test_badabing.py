@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import BadabingConfig, MarkingConfig, ProbeConfig
 from repro.core.badabing import BadabingTool
-from repro.core.clock import Clock
+from repro.core.clock import AffineClock
 from repro.core.jitter import UniformJitter
 from repro.experiments.runner import DRAIN_TIME, apply_scenario, build_testbed
 
@@ -133,7 +133,7 @@ def test_clock_offset_shifts_owds_but_not_loss():
         testbed_c.probe_receiver,
         config,
         start=1.0,
-        receiver_clock=Clock(offset=0.5),
+        receiver_clock=AffineClock(offset=0.5),
     )
     sim.run(until=tool.end_time + DRAIN_TIME)
     sim_c.run(until=tool_c.end_time + DRAIN_TIME)

@@ -1,22 +1,81 @@
-"""Tests for clock models and convex-hull skew removal (§7)."""
+"""Tests for clock sources, clock models, and convex-hull skew removal (§7)."""
 
 import random
 
 import pytest
 
-from repro.core.clock import Clock, estimate_skew, lower_convex_hull, remove_skew
+from repro.core.clock import (
+    AffineClock,
+    Clock,
+    MonotonicClock,
+    SimClock,
+    estimate_skew,
+    lower_convex_hull,
+    rebase_probe_owds,
+    remove_skew,
+)
 from repro.errors import EstimationError
 
 
 def test_clock_reads_affine():
-    clock = Clock(offset=2.0, skew=1e-4)
+    clock = AffineClock(offset=2.0, skew=1e-4)
     assert clock.read(0.0) == 2.0
     assert clock.read(1000.0) == pytest.approx(1000.1 + 2.0)
 
 
 def test_clock_rejects_degenerate_skew():
     with pytest.raises(EstimationError):
-        Clock(skew=-1.0)
+        AffineClock(skew=-1.0)
+
+
+def test_sim_clock_tracks_virtual_time_and_skew_model():
+    from repro.net.simulator import Simulator
+
+    sim = Simulator(seed=1)
+    plain = SimClock(sim)
+    skewed = SimClock(sim, AffineClock(offset=2.0, skew=1e-3))
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=1.0)
+    assert plain.now() == pytest.approx(1.0)
+    assert plain.now_ns() == 1_000_000_000
+    assert skewed.now() == pytest.approx(1.001 + 2.0)
+    assert isinstance(plain, Clock)
+    assert isinstance(skewed, Clock)
+
+
+def test_monotonic_clock_is_a_clock_and_advances():
+    clock = MonotonicClock()
+    assert isinstance(clock, Clock)
+    a = clock.now_ns()
+    b = clock.now_ns()
+    assert isinstance(a, int)
+    assert b >= a
+    assert clock.now() == pytest.approx(clock.now_ns() / 1e9, rel=1e-3)
+
+
+def test_rebase_probe_owds_removes_constant_offset():
+    from repro.core.records import ProbeRecord
+
+    offset = 12345.678  # two unsynchronized monotonic epochs
+    probes = [
+        ProbeRecord(
+            slot=i,
+            send_time=i * 0.005,
+            n_packets=2,
+            owds=(offset + 0.010 + i * 1e-4, offset + 0.011),
+            owd_before_loss=offset + 0.050 if i == 1 else None,
+        )
+        for i in range(3)
+    ]
+    rebased = rebase_probe_owds(probes)
+    all_owds = [owd for probe in rebased for owd in probe.owds]
+    assert min(all_owds) == pytest.approx(0.0, abs=1e-12)
+    # Relative structure preserved exactly.
+    assert rebased[1].owd_before_loss - rebased[1].owds[1] == pytest.approx(0.039)
+    # Delivery-free and empty streams pass through untouched.
+    blind = [ProbeRecord(slot=0, send_time=0.0, n_packets=3, owds=())]
+    assert rebase_probe_owds(blind) == blind
+    assert rebase_probe_owds([]) == []
 
 
 def test_lower_convex_hull_simple():

@@ -9,7 +9,7 @@ import math
 
 import pytest
 
-from repro.core.clock import Clock, estimate_skew
+from repro.core.clock import AffineClock, estimate_skew
 from repro.core.jitter import SpikeJitter
 from repro.experiments.runner import run_badabing, run_zing
 
@@ -120,7 +120,7 @@ def test_clock_skew_inflates_owds_and_is_removable():
     result, _truth = run_badabing(
         "episodic_cbr", p=0.3, n_slots=24_000, seed=27,
         scenario_kwargs=CBR_KWARGS, warmup=5.0,
-        receiver_clock=Clock(offset=0.0, skew=5e-5),
+        receiver_clock=AffineClock(offset=0.0, skew=5e-5),
         keep=keep,
     )
     points = [

@@ -1,0 +1,231 @@
+"""Live loopback integration: real UDP over 127.0.0.1, deterministic loss."""
+
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.config import BadabingConfig, MarkingConfig, ProbeConfig
+from repro.experiments.runner import RunBudget
+from repro.io import load_measurement, reestimate
+from repro.live import (
+    ReflectorProtocol,
+    bernoulli_drop,
+    live_loopback,
+    schedule_from_spec,
+    spec_for,
+)
+from repro.net.faults import FaultProfile
+from repro.net.simulator import _stable_seed
+from repro.obs import MetricsRegistry
+
+
+def _config(n_slots=200, p=0.5, tau=0.0, slot=0.005, packets=3):
+    """Short loss-only-marking config: loopback jitter cannot mark probes."""
+    return BadabingConfig(
+        probe=ProbeConfig(slot=slot, probe_size=64, packets_per_probe=packets),
+        marking=MarkingConfig(tau=tau),
+        p=p,
+        n_slots=n_slots,
+        improved=False,
+    )
+
+
+def _expected_lossy_slots(config, seed, probability):
+    """Replay the impairment shim's drop decisions slot by slot."""
+    spec = spec_for(config, seed)
+    schedule = schedule_from_spec(spec)
+    impair_seed = _stable_seed(seed, "live-impair")
+    lossy = set()
+    for slot in schedule.probe_slots:
+        for index in range(spec.packets_per_probe):
+            if bernoulli_drop(impair_seed, slot, index, probability):
+                lossy.add(slot)
+    return lossy
+
+
+def test_loopback_clean_run_estimates_zero_loss():
+    run = live_loopback(config=_config(), seed=3)
+    assert run.stats.completed
+    assert run.stats.packets_sent > 0
+    assert run.stats.echoes_received == run.stats.packets_sent
+    assert run.result.frequency == 0.0
+    assert run.reflector is not None
+    assert run.reflector.wire_errors == 0
+    assert run.receiver_result is not None
+    assert run.receiver_result.frequency == 0.0
+    manifest = run.manifest
+    assert manifest is not None
+    assert manifest.tool == "badabing-live"
+    assert manifest.events_processed == run.stats.packets_sent
+
+
+def test_loopback_impaired_run_recovers_loss_frequency():
+    q = 0.05
+    config = _config(n_slots=600)
+    faults = FaultProfile(drop_probability=q)
+    run = live_loopback(config=config, seed=7, faults=faults)
+    expected = _expected_lossy_slots(config, 7, q)
+    marked = {record.slot for record in run.result.probes if record.lost > 0}
+    # The shim is a pure function of (seed, slot, index): the sender must
+    # see exactly the replayed drop pattern, not a statistical neighbour.
+    assert marked == expected
+    assert run.reflector.impaired_drops > 0
+    # F-hat is the experiment-bit estimator; compare against the realized
+    # lossy-slot fraction with slack for probe-vs-slot granularity.
+    realized = len(expected) / len(run.schedule.probe_slots)
+    assert run.result.frequency == pytest.approx(realized, abs=0.05)
+    # Receiver-side one-way estimate must agree with the sender's (same
+    # records modulo clock rebase; identical marking config).
+    assert run.receiver_result is not None
+    assert run.receiver_result.frequency == pytest.approx(
+        run.result.frequency, abs=1e-12
+    )
+
+
+def test_loopback_packet_budget_degrades_gracefully():
+    run = live_loopback(
+        config=_config(n_slots=400),
+        seed=5,
+        budget=RunBudget(max_events=30),
+    )
+    assert run.stats.stopped == "packet-budget"
+    assert not run.stats.completed
+    assert run.stats.packets_sent <= 30
+    assert run.result.coverage is not None
+    assert not run.result.coverage.complete
+
+
+def test_reflector_counts_malformed_datagrams():
+    registry = MetricsRegistry()
+    protocol = ReflectorProtocol(registry=registry)
+    for garbage in (b"", b"nonsense", b"\xba\xda\x01", b"\x00" * 64):
+        protocol.datagram_received(garbage, ("127.0.0.1", 9999))
+    assert protocol.wire_errors == 4
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["live.wire_errors{role=reflector}"] == 4
+
+
+def test_reflector_drops_probes_from_unknown_sessions():
+    from repro.live import wire
+
+    protocol = ReflectorProtocol()
+    probe = wire.encode_probe(
+        session=12345, sequence=0, slot=0, index=0, packets_per_probe=1, send_ns=0
+    )
+    protocol.datagram_received(probe, ("127.0.0.1", 9999))
+    assert protocol.unknown_session == 1
+    assert protocol.wire_errors == 0
+
+
+def test_loopback_trace_round_trip_and_truncation_recovery(tmp_path):
+    trace_path = tmp_path / "live.jsonl"
+    config = _config(n_slots=400)
+    run = live_loopback(
+        config=config,
+        seed=7,
+        faults=FaultProfile(drop_probability=0.05),
+        trace_path=str(trace_path),
+    )
+    measurement = load_measurement(str(trace_path))
+    assert measurement.metadata["tool"] == "badabing-live"
+    assert measurement.metadata["clock_domain"] == "monotonic"
+    assert measurement.n_slots == config.n_slots
+    assert len(measurement.probes) == len(run.result.probes)
+    # Offline re-analysis walks the identical estimator path.
+    offline = reestimate(measurement, marking=config.marking)
+    assert offline.frequency == pytest.approx(run.result.frequency, abs=1e-12)
+
+    # Truncate mid-line (a crashed writer) and recover with diagnostics.
+    text = trace_path.read_text(encoding="utf-8")
+    lines = text.splitlines(keepends=True)
+    assert len(lines) > 3
+    truncated = tmp_path / "truncated.jsonl"
+    truncated.write_text("".join(lines[:-1]) + lines[-1][:10], encoding="utf-8")
+    recovered = load_measurement(str(truncated), recover=True)
+    assert recovered.diagnostics
+    assert len(recovered.probes) == len(measurement.probes) - 1
+
+
+def test_cli_live_loopback(capsys):
+    status = main(
+        [
+            "live",
+            "loopback",
+            "--seed",
+            "1",
+            "--duration",
+            "2",
+            "--p",
+            "0.5",
+            "--tau",
+            "0.0",
+            "--size",
+            "64",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert status == 0
+    assert "estimated loss frequency" in captured.out
+    assert "receiver cross-check" in captured.out
+
+
+def _free_udp_port():
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_send_and_reflect_interoperate_across_processes(tmp_path):
+    port = _free_udp_port()
+    reflector = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "live",
+            "reflect",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(port),
+            "--max-sessions",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Let the reflector bind before probing it; the HELLO retry loop
+        # tolerates a slow start but not an unbound port's ICMP error.
+        time.sleep(1.0)
+        status = main(
+            [
+                "live",
+                "send",
+                "127.0.0.1",
+                str(port),
+                "--seed",
+                "2",
+                "--duration",
+                "2",
+                "--p",
+                "0.5",
+                "--tau",
+                "0.0",
+                "--size",
+                "64",
+            ]
+        )
+        assert status == 0
+        stdout, stderr = reflector.communicate(timeout=30)
+    finally:
+        if reflector.poll() is None:
+            reflector.kill()
+            reflector.communicate()
+    assert reflector.returncode == 0, stderr
+    assert "served 1 session(s)" in stdout

@@ -1,0 +1,251 @@
+"""Wire-format tests: round-trip properties, golden bytes, fuzz resistance."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.live import wire
+
+
+# --------------------------------------------------------------- round trips
+kinds = st.sampled_from(
+    [wire.HELLO, wire.HELLO_ACK, wire.PROBE, wire.ECHO, wire.FIN, wire.FIN_ACK]
+)
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    kind=kinds,
+    session=u64,
+    sequence=u32,
+    slot=u32,
+    packets=st.integers(min_value=1, max_value=255),
+    send_ns=u64,
+    data=st.data(),
+)
+def test_header_round_trip(kind, session, sequence, slot, packets, send_ns, data):
+    index = data.draw(st.integers(min_value=0, max_value=packets - 1))
+    header = wire.ProbeHeader(
+        kind=kind,
+        session=session,
+        sequence=sequence,
+        slot=slot,
+        index=index,
+        packets_per_probe=packets,
+        send_ns=send_ns,
+    )
+    assert wire.decode_header(wire.encode_header(header)) == header
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    schedule_seed=u64,
+    n_slots=st.integers(min_value=2, max_value=2**32 - 1),
+    slot_ns=st.integers(min_value=1, max_value=2**64 - 1),
+    p_ppm=st.integers(min_value=1, max_value=wire.PPM),
+    packets=st.integers(min_value=1, max_value=255),
+    improved=st.booleans(),
+    probe_size=st.integers(min_value=wire.HEADER_SIZE, max_value=65535),
+    session=u64,
+    send_ns=u64,
+)
+def test_hello_round_trip(
+    schedule_seed, n_slots, slot_ns, p_ppm, packets, improved, probe_size, session, send_ns
+):
+    spec = wire.SessionSpec(
+        schedule_seed=schedule_seed,
+        n_slots=n_slots,
+        slot_ns=slot_ns,
+        p_ppm=p_ppm,
+        packets_per_probe=packets,
+        improved=improved,
+        probe_size=probe_size,
+    )
+    header, decoded = wire.decode_hello(wire.encode_hello(session, spec, send_ns))
+    assert decoded == spec
+    assert header.kind == wire.HELLO
+    assert header.session == session
+    assert header.send_ns == send_ns
+
+
+def test_echo_round_trip():
+    probe = wire.decode_header(
+        wire.encode_probe(session=7, sequence=42, slot=99, index=1,
+                          packets_per_probe=3, send_ns=123456789)
+    )
+    payload = wire.encode_echo(probe, recv_ns=987654321)
+    header, recv_ns = wire.decode_echo(payload)
+    assert header.kind == wire.ECHO
+    assert (header.slot, header.index) == (99, 1)
+    assert header.send_ns == 123456789
+    assert recv_ns == 987654321
+
+
+def test_probe_padding_to_probe_size():
+    payload = wire.encode_probe(
+        session=1, sequence=0, slot=0, index=0, packets_per_probe=1,
+        send_ns=0, probe_size=600,
+    )
+    assert len(payload) == 600
+    assert payload[wire.HEADER_SIZE:] == b"\x00" * (600 - wire.HEADER_SIZE)
+    wire.decode_header(payload)  # padding must not confuse the decoder
+
+
+# ------------------------------------------------------- endianness stability
+def test_golden_header_bytes():
+    """The wire layout is frozen: network byte order, 30-byte header."""
+    header = wire.ProbeHeader(
+        kind=wire.PROBE,
+        session=0x0102030405060708,
+        sequence=0x0A0B0C0D,
+        slot=0x00000010,
+        index=1,
+        packets_per_probe=3,
+        send_ns=0x1122334455667788,
+    )
+    expected = (
+        b"\xba\xda"              # magic
+        b"\x01"                  # version
+        b"\x03"                  # kind = PROBE
+        b"\x01\x02\x03\x04\x05\x06\x07\x08"  # session (big-endian)
+        b"\x0a\x0b\x0c\x0d"      # sequence
+        b"\x00\x00\x00\x10"      # slot
+        b"\x01"                  # index
+        b"\x03"                  # packets per probe
+        b"\x11\x22\x33\x44\x55\x66\x77\x88"  # send_ns
+    )
+    assert wire.encode_header(header) == expected
+    assert wire.HEADER_SIZE == 30
+
+
+# ------------------------------------------------------------- malformed input
+def test_rejects_short_datagram():
+    with pytest.raises(WireFormatError):
+        wire.decode_header(b"\xba\xda\x01")
+
+
+def test_rejects_empty_datagram():
+    with pytest.raises(WireFormatError):
+        wire.decode_header(b"")
+
+
+def test_rejects_bad_magic():
+    good = wire.encode_probe(
+        session=1, sequence=0, slot=0, index=0, packets_per_probe=1, send_ns=0
+    )
+    with pytest.raises(WireFormatError):
+        wire.decode_header(b"\x00\x00" + good[2:])
+
+
+def test_rejects_version_skew():
+    good = bytearray(
+        wire.encode_probe(
+            session=1, sequence=0, slot=0, index=0, packets_per_probe=1, send_ns=0
+        )
+    )
+    good[2] = wire.VERSION + 1
+    with pytest.raises(WireFormatError):
+        wire.decode_header(bytes(good))
+
+
+def test_rejects_unknown_kind():
+    good = bytearray(
+        wire.encode_probe(
+            session=1, sequence=0, slot=0, index=0, packets_per_probe=1, send_ns=0
+        )
+    )
+    good[3] = 200
+    with pytest.raises(WireFormatError):
+        wire.decode_header(bytes(good))
+
+
+def test_rejects_index_past_train():
+    packed = struct.pack(
+        "!HBBQIIBBQ", wire.MAGIC, wire.VERSION, wire.PROBE, 1, 0, 0, 3, 3, 0
+    )
+    with pytest.raises(WireFormatError):
+        wire.decode_header(packed)
+
+
+def test_rejects_zero_packets_per_probe():
+    packed = struct.pack(
+        "!HBBQIIBBQ", wire.MAGIC, wire.VERSION, wire.PROBE, 1, 0, 0, 0, 0, 0
+    )
+    with pytest.raises(WireFormatError):
+        wire.decode_header(packed)
+
+
+def test_echo_requires_trailer():
+    probe = wire.decode_header(
+        wire.encode_probe(
+            session=1, sequence=0, slot=0, index=0, packets_per_probe=1, send_ns=0
+        )
+    )
+    echo = wire.encode_echo(probe, recv_ns=5)
+    with pytest.raises(WireFormatError):
+        wire.decode_echo(echo[:-1])
+
+
+def test_hello_requires_spec_trailer():
+    spec = wire.SessionSpec(
+        schedule_seed=1, n_slots=10, slot_ns=5_000_000, p_ppm=300_000,
+        packets_per_probe=3, improved=False, probe_size=wire.HEADER_SIZE,
+    )
+    hello = wire.encode_hello(1, spec, 0)
+    with pytest.raises(WireFormatError):
+        wire.decode_hello(hello[: wire.HEADER_SIZE + 3])
+
+
+def test_spec_validate_rejects_bad_fields():
+    base = dict(
+        schedule_seed=1, n_slots=10, slot_ns=5_000_000, p_ppm=300_000,
+        packets_per_probe=3, improved=False, probe_size=wire.HEADER_SIZE,
+    )
+    for bad in (
+        {"p_ppm": 0},
+        {"p_ppm": wire.PPM + 1},
+        {"n_slots": 1},
+        {"slot_ns": 0},
+        {"packets_per_probe": 0},
+        {"probe_size": wire.HEADER_SIZE - 1},
+    ):
+        spec = wire.SessionSpec(**{**base, **bad})
+        with pytest.raises(WireFormatError):
+            spec.validate()
+
+
+# ------------------------------------------------------------------- fuzzing
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=100))
+def test_fuzz_decode_header_never_raises_other_errors(data):
+    try:
+        wire.decode_header(data)
+    except WireFormatError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=100))
+def test_fuzz_decode_hello_and_echo(data):
+    for decoder in (wire.decode_hello, wire.decode_echo):
+        try:
+            decoder(data)
+        except WireFormatError:
+            pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=wire.HEADER_SIZE, max_size=wire.HEADER_SIZE))
+def test_fuzz_valid_length_random_bytes(data):
+    """Exactly-header-sized garbage must decode or raise WireFormatError."""
+    try:
+        header = wire.decode_header(data)
+    except WireFormatError:
+        return
+    # If it decoded, it must re-encode to the same bytes (no silent loss).
+    assert wire.encode_header(header) == data

@@ -308,7 +308,6 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.core.clock import Clock
 from repro.core.records import CoverageReport
 from repro.errors import EstimationError
 from repro.net.faults import FaultProfile
@@ -340,15 +339,17 @@ def _finished_badabing_tool():
     return _REPLAY_CACHE["tool"], _REPLAY_CACHE["baseline"]
 
 
-class _ReplayClock(Clock):
-    """Clock whose reading is set explicitly by the replay loop."""
+class _ReplayClock:
+    """Clock (protocol) whose reading is set explicitly by the replay loop."""
 
     def __init__(self):
-        super().__init__()
         self.value = 0.0
 
-    def read(self, true_time):
+    def now(self):
         return self.value
+
+    def now_ns(self):
+        return int(round(self.value * 1e9))
 
 
 def _replay_receiver():
