@@ -5,6 +5,8 @@ Subcommands:
 * ``measure`` — run one BADABING measurement against a chosen traffic
   scenario and print the estimate vs ground truth;
 * ``zing`` — run the Poisson baseline the same way;
+* ``sweep`` — run a grid of BADABING cells over ``p`` × seeds, optionally
+  across worker processes, and print the per-cell outcomes + scorecard;
 * ``table`` — reproduce one of the paper's tables (1-8);
 * ``figure`` — reproduce one of the paper's figures (4-9b);
 * ``live`` — run the probe process over real UDP sockets (``send`` to a
@@ -18,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -180,6 +183,84 @@ def _cmd_zing(args: argparse.Namespace) -> int:
         f"(σ {truth.duration_std:.3f})  reported={result.duration_mean:.3f}s"
     )
     return 0
+
+
+def _parse_csv(text: str, convert, what: str):
+    from repro.errors import ConfigurationError
+
+    try:
+        values = [convert(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ConfigurationError(f"invalid {what} list: {text!r}")
+    if not values:
+        raise ConfigurationError(f"need at least one {what}, got {text!r}")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import (
+        RunBudget,
+        scorecard_from_outcomes,
+        sweep_badabing,
+    )
+    from repro.obs import render_scorecard, scorecard_digest, snapshot_digest
+
+    profile = _resolve_profile(args.profile)
+    n_slots = args.slots if args.slots else profile.n_slots
+    ps = _parse_csv(args.p, float, "probe probability")
+    seeds = _parse_csv(args.seeds, int, "seed")
+    cells = [{"p": p, "seed": seed} for p in ps for seed in seeds]
+    budget = (
+        RunBudget(max_events=args.max_events) if args.max_events else None
+    )
+    metrics = MetricsRegistry()
+    tracer = Tracer(tool="badabing-sweep") if args.trace_out else None
+    outcomes = sweep_badabing(
+        cells,
+        budget=budget,
+        metrics=metrics,
+        tracer=tracer,
+        workers=args.workers if args.workers > 1 else None,
+        max_wall_seconds=args.max_wall_seconds if args.max_wall_seconds else None,
+        scenario=args.scenario,
+        n_slots=n_slots,
+        warmup=profile.warmup,
+        improved=args.improved,
+    )
+    scorecard = scorecard_from_outcomes(outcomes)
+    # Write requested artifacts before any stdout: a downstream reader
+    # closing the pipe (`| head`) must not cost the exported files.
+    if args.metrics_out:
+        write_metrics_document(args.metrics_out, metrics, None)
+    if args.audit_out:
+        from repro.obs import audit_document, write_audit_document
+
+        audits = [
+            outcome.result.audit
+            for outcome in outcomes
+            if outcome.ok and getattr(outcome.result, "audit", None) is not None
+        ]
+        write_audit_document(args.audit_out, audit_document(scorecard, runs=audits))
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+    mode = f"{args.workers} workers" if args.workers > 1 else "serial"
+    print(
+        f"sweep: scenario={args.scenario} cells={len(cells)} "
+        f"(p in {ps}, seeds {seeds}, N={n_slots}) [{mode}]"
+    )
+    for outcome in outcomes:
+        print(f"  {outcome.describe()}")
+    for line in render_scorecard(scorecard.to_dict()):
+        print(line)
+    print(f"scorecard digest: {scorecard_digest(scorecard)}")
+    print(f"metrics digest:   {snapshot_digest(metrics.snapshot())}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if args.audit_out:
+        print(f"audit written to {args.audit_out}")
+    if tracer is not None:
+        print(f"trace written to {args.trace_out}")
+    return 0 if any(outcome.ok for outcome in outcomes) else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -579,6 +660,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
+    sweep = commands.add_parser(
+        "sweep", help="run a grid of BADABING cells, optionally in parallel"
+    )
+    sweep.add_argument("scenario", choices=sorted(SCENARIOS))
+    sweep.add_argument(
+        "--p",
+        default="0.1,0.3,0.5",
+        help="comma-separated per-slot probe probabilities (default 0.1,0.3,0.5)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default="1",
+        help="comma-separated seeds; the grid is the p × seeds cross product",
+    )
+    sweep.add_argument("--slots", type=int, default=0, help="number of 5ms slots (N)")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; >1 dispatches cells to a process pool)",
+    )
+    sweep.add_argument(
+        "--max-events",
+        type=int,
+        default=0,
+        help="per-cell simulator event budget (0 = unlimited)",
+    )
+    sweep.add_argument(
+        "--max-wall-seconds",
+        type=float,
+        default=0.0,
+        help="sweep-level deadline: skip cells not started by then (0 = none)",
+    )
+    sweep.add_argument(
+        "--improved", action="store_true", help="use the §5.3 improved algorithm"
+    )
+    sweep.add_argument(
+        "--audit-out",
+        default="",
+        help="write the sweep scorecard + per-cell audits as JSON to this path",
+    )
+    _add_obs_arguments(sweep)
+    _add_profile_argument(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
     zing = commands.add_parser("zing", help="run the Poisson (ZING) baseline")
     zing.add_argument("scenario", choices=sorted(SCENARIOS))
     zing.add_argument("--rate", type=float, default=10.0, help="mean probe rate in Hz")
@@ -741,6 +867,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream reader (e.g. `| head`) closed the pipe mid-run; point
+        # stdout at devnull so the interpreter's exit-time flush does not
+        # traceback, and exit with the conventional SIGPIPE status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ user code stay declarative.
 
 from __future__ import annotations
 
+import inspect
 import time
 import traceback
 from dataclasses import dataclass
@@ -264,6 +265,27 @@ def install_faults(
     return injector
 
 
+def _check_event_budget(
+    sim: Simulator, dispatched: int, max_events: Optional[int], needed_until: float
+) -> None:
+    """Raise a structured BudgetExhaustedError when a budgeted run starved.
+
+    Shared by every runner entry point so zing/multihop cells starve the
+    same way BADABING ones do — as a typed, retryable failure carrying the
+    progress made, never as a silent truncation.
+    """
+    if not sim.budget_exhausted:
+        return
+    raise BudgetExhaustedError(
+        f"event budget exhausted after {dispatched} events at "
+        f"t={sim.now:.3f}s (budget {max_events}, needed to reach "
+        f"t={needed_until:.3f}s)",
+        events_processed=dispatched,
+        sim_time=sim.now,
+        budget=max_events,
+    )
+
+
 def run_badabing(
     scenario: str,
     p: float,
@@ -327,15 +349,7 @@ def run_badabing(
     _start_heartbeat(sim, tracer, until=tool.end_time + DRAIN_TIME)
     with trace_span(tracer, "sim.run", until=tool.end_time + DRAIN_TIME):
         dispatched = sim.run(until=tool.end_time + DRAIN_TIME, max_events=max_events)
-    if sim.budget_exhausted:
-        raise BudgetExhaustedError(
-            f"event budget exhausted after {dispatched} events at "
-            f"t={sim.now:.3f}s (budget {max_events}, needed to reach "
-            f"t={tool.end_time + DRAIN_TIME:.3f}s)",
-            events_processed=dispatched,
-            sim_time=sim.now,
-            budget=max_events,
-        )
+    _check_event_budget(sim, dispatched, max_events, tool.end_time + DRAIN_TIME)
     with trace_span(tracer, "truth.extract"):
         truth = compute_ground_truth(testbed, probe_cfg.slot, warmup, config.duration)
     # A real collector knows when it was down (its own restart log); feed
@@ -377,6 +391,7 @@ def run_badabing_multihop(
     probe: Optional[ProbeConfig] = None,
     marking: Optional[MarkingConfig] = None,
     warmup: float = 10.0,
+    max_events: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     keep: Optional[Dict[str, Any]] = None,
 ) -> Tuple[BadabingResult, GroundTruth]:
@@ -385,7 +400,9 @@ def run_badabing_multihop(
     Each hop carries its own engineered episodic CBR cross traffic
     (spacing given per hop via ``mean_spacings``, default 10 s each);
     truth is the *union* of per-hop loss episodes — the path-level
-    congestion state the probes actually traverse.
+    congestion state the probes actually traverse. ``max_events`` caps
+    the simulation's event budget exactly as in :func:`run_badabing`,
+    raising :class:`~repro.errors.BudgetExhaustedError` on exhaustion.
     """
     from repro.net.multihop import MultiHopTestbed
     from repro.traffic.cbr import EpisodicCbrTraffic
@@ -421,7 +438,8 @@ def run_badabing_multihop(
     tool = BadabingTool(
         sim, testbed.probe_sender, testbed.probe_receiver, config, start=warmup
     )
-    sim.run(until=tool.end_time + DRAIN_TIME)
+    dispatched = sim.run(until=tool.end_time + DRAIN_TIME, max_events=max_events)
+    _check_event_budget(sim, dispatched, max_events, tool.end_time + DRAIN_TIME)
     total_arrivals = sum(m.arrivals for m in testbed.hop_monitors)
     total_drops = testbed.total_drops
     loss_rate = (
@@ -456,6 +474,7 @@ def run_zing(
     testbed_config: Optional[TestbedConfig] = None,
     scenario_kwargs: Optional[Dict[str, Any]] = None,
     warmup: float = 10.0,
+    max_events: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     keep: Optional[Dict[str, Any]] = None,
@@ -463,7 +482,11 @@ def run_zing(
     """Full ZING experiment: returns (tool result, ground truth).
 
     ``slot`` only affects how the *truth* frequency is discretized; ZING
-    itself is slot-free.
+    itself is slot-free. ``max_events`` caps the simulation's event
+    budget exactly as in :func:`run_badabing`, raising
+    :class:`~repro.errors.BudgetExhaustedError` on exhaustion — so the
+    Poisson baseline can run under the same :class:`RunBudget` protection
+    as the tool it is compared against.
     """
     with trace_span(tracer, "testbed.build", seed=seed):
         sim, testbed = build_testbed(seed=seed, config=testbed_config, metrics=metrics)
@@ -479,7 +502,10 @@ def run_zing(
         start=warmup,
     )
     with trace_span(tracer, "sim.run", until=warmup + duration + DRAIN_TIME):
-        sim.run(until=warmup + duration + DRAIN_TIME)
+        dispatched = sim.run(
+            until=warmup + duration + DRAIN_TIME, max_events=max_events
+        )
+    _check_event_budget(sim, dispatched, max_events, warmup + duration + DRAIN_TIME)
     with trace_span(tracer, "truth.extract"):
         truth = compute_ground_truth(testbed, slot, warmup, duration)
     with trace_span(tracer, "tool.result"):
@@ -579,6 +605,30 @@ def derive_retry_seed(seed: int, attempt: int) -> int:
     return _stable_seed(seed, f"retry-{attempt}") % (1 << 31)
 
 
+def accepts_kwarg(fn: Callable[..., Any], name: str) -> bool:
+    """Whether ``fn(name=...)`` is a valid call (directly or via ``**kwargs``).
+
+    Used to forward optional budget/observability kwargs only to runners
+    that can take them: ``run_protected(run_zing, budget=...)`` must not
+    die with a ``TypeError`` because ZING predates some kwarg. Callables
+    whose signature cannot be introspected are assumed to accept it.
+    """
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return True
+    parameter = parameters.get(name)
+    if parameter is not None:
+        return parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
 def run_protected(
     fn: Callable[..., Tuple[Any, GroundTruth]],
     label: str = "run",
@@ -590,12 +640,17 @@ def run_protected(
 
     ``fn`` is any runner entry point taking ``seed=`` and returning a
     ``(result, truth)`` pair — :func:`run_badabing`, :func:`run_zing`,
-    :func:`run_badabing_multihop`, or user code with the same shape. If
-    ``fn`` accepts ``max_events``, pass it via ``kwargs`` or rely on the
-    budget's value being forwarded automatically for :func:`run_badabing`.
+    :func:`run_badabing_multihop`, or user code with the same shape. The
+    budget's ``max_events`` is forwarded automatically when ``fn`` accepts
+    that kwarg (all built-in runners do); a runner without it simply runs
+    unbudgeted rather than crashing the cell with a ``TypeError``.
     """
     budget = budget if budget is not None else RunBudget()
-    if budget.max_events is not None and "max_events" not in kwargs:
+    if (
+        budget.max_events is not None
+        and "max_events" not in kwargs
+        and accepts_kwarg(fn, "max_events")
+    ):
         kwargs = dict(kwargs, max_events=budget.max_events)
     seeds: List[int] = []
     started = time.monotonic()
@@ -643,11 +698,53 @@ def run_protected(
     )
 
 
+def _prepare_cells(
+    cells: Sequence[Dict[str, Any]], common: Dict[str, Any]
+) -> List[Tuple[int, str, int, Dict[str, Any]]]:
+    """Resolve every cell to ``(index, label, seed, kwargs)``.
+
+    ``common`` supplies shared kwargs (cells win on conflict). A ``label``
+    given per cell is used verbatim; a label inherited from ``common`` is
+    suffixed with the cell index — otherwise every row of the sweep's
+    outcome list and scorecard would collide on one name.
+    """
+    prepared: List[Tuple[int, str, int, Dict[str, Any]]] = []
+    for index, cell in enumerate(cells):
+        merged = dict(common, **cell)
+        merged.pop("label", None)
+        if cell.get("label"):
+            label = cell["label"]
+        elif common.get("label"):
+            label = f"{common['label']}[{index}]"
+        else:
+            label = _cell_label(index, merged)
+        seed = merged.pop("seed", 1)
+        prepared.append((index, label, seed, merged))
+    return prepared
+
+
+def _record_sweep_metrics(
+    metrics: Optional[MetricsRegistry], outcome: RunOutcome
+) -> None:
+    """Sweep-level per-cell telemetry, recorded registry-side in cell order."""
+    if metrics is None or not metrics.enabled:
+        return
+    status = "ok" if outcome.ok else (
+        "budget_exhausted" if outcome.budget_exhausted else "failed"
+    )
+    metrics.counter("sweep.cells", status=status).inc()
+    metrics.counter("sweep.retries").inc(max(0, outcome.attempts - 1))
+    if not outcome.ok:
+        metrics.counter("sweep.degraded_cells").inc()
+
+
 def sweep_badabing(
     cells: Sequence[Dict[str, Any]],
     budget: Optional[RunBudget] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    workers: Optional[int] = None,
+    max_wall_seconds: Optional[float] = None,
     **common: Any,
 ) -> List[RunOutcome]:
     """Run a whole grid of BADABING cells, never dying on one of them.
@@ -658,31 +755,92 @@ def sweep_badabing(
     budget-exhausted cells come back as structured failures, so a table
     sweep always produces its full shape.
 
-    When ``metrics`` is given, every cell's simulator feeds the same shared
-    registry and the sweep itself records per-status cell counts, retry
-    totals, and elapsed-time structure (``sweep.cells{status=...}``,
-    ``sweep.retries``); ``tracer`` adds one span per cell.
+    ``workers`` > 1 dispatches cells to a spawn-based process pool (see
+    :mod:`repro.experiments.parallel`). Each cell runs under its own
+    registry and trace shard — in *both* modes — and the shards are merged
+    into ``metrics``/``tracer`` strictly in cell order, so the parallel
+    sweep's outcome list, merged metrics snapshot, and scorecard are
+    byte-identical to the serial run on the same seeds. A worker that dies
+    hard (segfault, OOM-kill, unpicklable result) becomes a structured
+    failed outcome for its cell instead of killing the sweep.
+
+    ``max_wall_seconds`` is a sweep-level deadline: cells that have not
+    started when it expires are skipped and reported as budget-exhausted
+    outcomes (in-flight cells always finish). It bounds the whole grid the
+    way :attr:`RunBudget.max_wall_seconds` bounds one cell's retries.
+
+    When ``metrics`` is given the sweep also records per-status cell
+    counts and retry totals (``sweep.cells{status=...}``,
+    ``sweep.retries``); ``tracer`` gains one ``sweep.cell`` span per cell.
     """
+    prepared = _prepare_cells(cells, common)
+    if workers is not None and workers > 1:
+        from repro.experiments.parallel import CellPayload, execute_parallel_sweep
+
+        payloads = []
+        for index, label, seed, merged in prepared:
+            live = sorted(k for k in ("metrics", "tracer", "keep") if k in merged)
+            if live:
+                raise ConfigurationError(
+                    f"cell {label!r}: per-cell {'/'.join(live)} objects cannot "
+                    "cross a process boundary; drop them or run with workers=1"
+                )
+            if metrics is None:
+                mode = "none"
+            elif metrics.enabled:
+                mode = "fresh"
+            else:
+                mode = "null"
+            payloads.append(
+                CellPayload(
+                    index=index,
+                    label=label,
+                    seed=seed,
+                    kwargs=merged,
+                    budget=budget,
+                    metrics_mode=mode,
+                    with_tracer=tracer is not None,
+                )
+            )
+        outcomes = execute_parallel_sweep(
+            payloads,
+            workers=workers,
+            metrics=metrics,
+            tracer=tracer,
+            max_wall_seconds=max_wall_seconds,
+        )
+        for outcome in outcomes:
+            _record_sweep_metrics(metrics, outcome)
+        return outcomes
+
     outcomes: List[RunOutcome] = []
-    for index, cell in enumerate(cells):
-        merged = dict(common, **cell)
-        label = merged.pop("label", None) or _cell_label(index, merged)
-        seed = merged.pop("seed", 1)
-        if metrics is not None and "metrics" not in merged:
-            merged["metrics"] = metrics
-        with trace_span(tracer, "sweep.cell", label=label, seed=seed):
-            outcome = run_protected(
-                run_badabing, label=label, seed=seed, budget=budget, **merged
-            )
+    started = time.monotonic()
+    for index, label, seed, merged in prepared:
+        if (
+            max_wall_seconds is not None
+            and time.monotonic() - started >= max_wall_seconds
+        ):
+            from repro.experiments.parallel import deadline_outcome
+
+            outcome = deadline_outcome(label, max_wall_seconds)
+        else:
+            cell_registry: Optional[MetricsRegistry] = None
+            if metrics is not None and "metrics" not in merged:
+                # Each cell gets a private registry merged back in cell
+                # order — the same dance the parallel engine does — so
+                # serial and parallel sweeps aggregate identically.
+                from repro.obs.metrics import NullRegistry
+
+                cell_registry = MetricsRegistry() if metrics.enabled else NullRegistry()
+                merged = dict(merged, metrics=cell_registry)
+            with trace_span(tracer, "sweep.cell", label=label, seed=seed):
+                outcome = run_protected(
+                    run_badabing, label=label, seed=seed, budget=budget, **merged
+                )
+            if cell_registry is not None and metrics is not None:
+                metrics.merge(cell_registry, series_labels={"cell": label})
         outcomes.append(outcome)
-        if metrics is not None and metrics.enabled:
-            status = "ok" if outcome.ok else (
-                "budget_exhausted" if outcome.budget_exhausted else "failed"
-            )
-            metrics.counter("sweep.cells", status=status).inc()
-            metrics.counter("sweep.retries").inc(outcome.attempts - 1)
-            if not outcome.ok:
-                metrics.counter("sweep.degraded_cells").inc()
+        _record_sweep_metrics(metrics, outcome)
     return outcomes
 
 

@@ -33,6 +33,7 @@ from repro.obs.audit import (
     audit_run,
     publish_audit,
     row_from_audit,
+    scorecard_digest,
     scorecard_from_runs,
     write_audit_document,
 )
@@ -52,6 +53,7 @@ from repro.obs.metrics import (
     NullRegistry,
     Series,
     merge_snapshots,
+    snapshot_digest,
 )
 from repro.obs.schema import (
     METRICS_SCHEMA,
@@ -83,6 +85,8 @@ __all__ = [
     "config_digest",
     "summarize_snapshot",
     "merge_snapshots",
+    "snapshot_digest",
+    "scorecard_digest",
     "render_summary",
     "summary_document",
     "validate_metrics_document",

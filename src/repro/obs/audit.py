@@ -610,6 +610,23 @@ def scorecard_from_runs(
     return AccuracyScorecard(rows=rows)
 
 
+def scorecard_digest(scorecard: AccuracyScorecard) -> str:
+    """Canonical sha256 hex digest of a scorecard's exported dict.
+
+    The sweep engine's determinism contract is stated in terms of this
+    digest: a parallel sweep over the same cells and seeds must produce a
+    scorecard that digests identically to the serial run. Everything in a
+    scorecard row is simulation-domain, so the digest is reproducible
+    across processes and hosts.
+    """
+    import hashlib
+
+    payload = json.dumps(
+        scorecard.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # Documents
 # ---------------------------------------------------------------------------

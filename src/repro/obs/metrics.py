@@ -283,14 +283,38 @@ class MetricsRegistry:
             },
         }
 
+    def detach_collectors(self) -> "MetricsRegistry":
+        """Collect once, then drop the collector callbacks. Returns self.
+
+        Collectors close over live substrate objects (simulators, queues,
+        links), which cannot cross a process boundary and keep finished
+        runs alive. A sweep worker calls this after its cell completes so
+        the registry it sends back is a plain data object: the raw totals
+        the collectors would have published are baked into the instruments,
+        and a later :meth:`collect`/:meth:`snapshot` is a no-op on them.
+        """
+        self.collect()
+        self._collectors = []
+        return self
+
     # ------------------------------------------------------------------ merge
-    def merge(self, other: "MetricsRegistry") -> None:
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        series_labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Fold another registry into this one.
 
         Counters and histogram buckets add; gauges keep the later write
         (and the max of the peaks); series are concatenated sample-wise
         (re-decimated under this registry's bounds). Histograms with
         mismatched bucket bounds raise :class:`ObservabilityError`.
+
+        ``series_labels`` adds extra labels to every absorbed *series* key
+        (e.g. ``cell=<sweep label>``). Sweep shards use this so each
+        cell's series stays a separate, monotonically-timed instrument
+        instead of interleaving restarting sim clocks into one stream —
+        counters/gauges/histograms still aggregate across the shards.
         """
         other.collect()
         for (name, labels), src in other._counters.items():
@@ -310,7 +334,10 @@ class MetricsRegistry:
             dst.count += src.count
             dst.sum += src.sum
         for (name, labels), src in other._series.items():
-            dst = self.series(name, max_samples=src.max_samples, **dict(labels))
+            merged_labels = dict(labels)
+            if series_labels:
+                merged_labels.update(series_labels)
+            dst = self.series(name, max_samples=src.max_samples, **merged_labels)
             for t, v in zip(*src.points()):
                 dst.append(t, v)
 
@@ -346,12 +373,34 @@ class NullRegistry(MetricsRegistry):
     def add_collector(self, collector: Collector) -> None:
         pass
 
-    def merge(self, other: "MetricsRegistry") -> None:
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        series_labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
         pass
+
+    def detach_collectors(self) -> "MetricsRegistry":
+        return self
 
 
 def _sort_key(instrument) -> Tuple[str, tuple]:
     return (instrument.name, instrument.labels)
+
+
+def snapshot_digest(snapshot: Dict[str, Any]) -> str:
+    """Canonical sha256 hex digest of a snapshot document.
+
+    Two registries with byte-identical metric state produce equal digests
+    regardless of instrument creation order (snapshots sort by key). Used
+    by the sweep engine's equivalence checks: a parallel sweep's merged
+    snapshot must digest identically to the serial run on the same seeds.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def merge_snapshots(base: Dict[str, Any], other: Dict[str, Any]) -> Dict[str, Any]:

@@ -78,6 +78,24 @@ class Tracer:
             }
         )
 
+    # ----------------------------------------------------------------- shards
+    def absorb(self, spans: List[Dict[str, Any]], **attrs: Any) -> None:
+        """Fold a worker shard's span records into this tracer.
+
+        A parallel sweep's workers each run their own :class:`Tracer` and
+        send back ``tracer.spans`` (plain dicts, picklable); the parent
+        absorbs the shards in cell order so one trace file covers the whole
+        sweep. ``attrs`` (e.g. ``cell=label``) are merged into every
+        absorbed record. Shard timestamps stay relative to the *worker's*
+        epoch — wall-clock spans are never deterministic, and per-shard
+        durations are what matters for finding slow cells.
+        """
+        for span in spans:
+            record = dict(span)
+            if attrs:
+                record["attrs"] = {**record.get("attrs", {}), **attrs}
+            self.spans.append(record)
+
     # ---------------------------------------------------------------- summary
     def span_summary(self) -> Dict[str, Dict[str, float]]:
         """Aggregate finished spans by name: count, total and max duration."""

@@ -6,9 +6,12 @@ from repro.errors import ConfigurationError, EstimationError, ReproError, Simula
 from repro.experiments.runner import (
     RunBudget,
     RunOutcome,
+    accepts_kwarg,
     derive_retry_seed,
     run_badabing,
+    run_badabing_multihop,
     run_protected,
+    run_zing,
     sweep_badabing,
 )
 
@@ -134,3 +137,110 @@ def test_outcome_defaults_represent_unrun_cell():
     assert outcome.failed
     assert outcome.attempts == 0
     assert outcome.seeds == ()
+
+
+class TestCommonLabelSuffixing:
+    """A label passed via **common must not stamp every cell identically."""
+
+    def test_common_label_gets_cell_index_suffix(self):
+        common = dict(CELL)
+        common.pop("p")
+        outcomes = sweep_badabing(
+            [{"p": 0.3}, {"p": 0.5}], label="grid", **common
+        )
+        assert [o.label for o in outcomes] == ["grid[0]", "grid[1]"]
+
+    def test_per_cell_label_still_wins_verbatim(self):
+        common = dict(CELL)
+        common.pop("p")
+        outcomes = sweep_badabing(
+            [{"p": 0.3, "label": "mine"}, {"p": 0.5}], label="grid", **common
+        )
+        assert [o.label for o in outcomes] == ["mine", "grid[1]"]
+
+
+class TestAcceptsKwarg:
+    def test_named_and_var_keyword_parameters(self):
+        def named(seed, max_events=None):
+            return seed
+
+        def keyword_only(seed, *, max_events):
+            return seed
+
+        def catch_all(seed, **kwargs):
+            return seed
+
+        def without(seed):
+            return seed
+
+        assert accepts_kwarg(named, "max_events")
+        assert accepts_kwarg(keyword_only, "max_events")
+        assert accepts_kwarg(catch_all, "max_events")
+        assert not accepts_kwarg(without, "max_events")
+
+    def test_uninspectable_callable_defaults_to_true(self):
+        assert accepts_kwarg(min, "max_events")  # C builtin without a signature
+
+    def test_inspectable_builtin_without_the_kwarg(self):
+        assert not accepts_kwarg(len, "max_events")
+
+
+class TestProtectedBudgetForwarding:
+    """run_protected must never crash a runner with an unexpected kwarg.
+
+    Regression for the bug where ``budget=RunBudget(max_events=...)``
+    injected ``max_events=`` into every runner, crashing run_zing and
+    run_badabing_multihop with TypeError before a single event ran.
+    """
+
+    def test_protected_zing_exhausts_budget_structurally(self):
+        outcome = run_protected(
+            run_zing,
+            budget=RunBudget(max_events=300, max_attempts=1),
+            scenario="episodic_cbr",
+            mean_interval=0.1,
+            packet_size=256,
+            duration=6.0,
+            warmup=2.0,
+            scenario_kwargs={"mean_spacing": 2.0},
+        )
+        assert outcome.failed
+        assert outcome.error_type == "BudgetExhaustedError"
+        assert outcome.budget_exhausted
+
+    def test_protected_zing_completes_under_generous_budget(self):
+        outcome = run_protected(
+            run_zing,
+            budget=RunBudget(max_events=2_000_000),
+            scenario="episodic_cbr",
+            mean_interval=0.1,
+            packet_size=256,
+            duration=6.0,
+            warmup=2.0,
+            scenario_kwargs={"mean_spacing": 2.0},
+        )
+        assert outcome.ok, outcome.error
+
+    def test_protected_multihop_exhausts_budget_structurally(self):
+        outcome = run_protected(
+            run_badabing_multihop,
+            budget=RunBudget(max_events=300, max_attempts=1),
+            n_hops=2,
+            p=0.3,
+            n_slots=1500,
+            warmup=2.0,
+        )
+        assert outcome.failed
+        assert outcome.error_type == "BudgetExhaustedError"
+        assert outcome.budget_exhausted
+
+    def test_runner_without_max_events_is_not_crashed(self):
+        # A runner with a strict signature must simply not receive the kwarg.
+        def strict_runner(seed):
+            return f"ran-{seed}", None
+
+        outcome = run_protected(
+            strict_runner, budget=RunBudget(max_events=10)
+        )
+        assert outcome.ok
+        assert outcome.result == "ran-1"
