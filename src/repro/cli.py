@@ -11,7 +11,8 @@ Subcommands:
 * ``figure`` — reproduce one of the paper's figures (4-9b);
 * ``live`` — run the probe process over real UDP sockets (``send`` to a
   remote reflector, ``reflect`` to serve one, ``loopback`` for both ends
-  in one process);
+  in one process, ``fleet`` for a many-session loopback soak against one
+  multi-tenant reflector);
 * ``obs`` — summarize or validate exported metrics/trace files;
 * ``list`` — show available scenarios, tables, and figures.
 """
@@ -554,6 +555,51 @@ def _cmd_live_send(args: argparse.Namespace) -> int:
     return status
 
 
+def _fleet_policy(args: argparse.Namespace):
+    """Optional FleetPolicy from the admission/eviction/rate flags."""
+    from repro.live import FleetPolicy
+
+    if not (
+        args.max_sessions or args.max_pps or args.rate_cap or args.idle_timeout
+    ):
+        return None
+    return FleetPolicy(
+        max_sessions=args.max_sessions if args.max_sessions else None,
+        max_aggregate_pps=args.max_pps if args.max_pps else None,
+        rate_cap_pps=args.rate_cap if args.rate_cap else None,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+    )
+
+
+def _add_fleet_policy_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--max-sessions",
+        type=int,
+        default=0,
+        help="admission cap on concurrent sessions (extra HELLOs get BUSY)",
+    )
+    sub.add_argument(
+        "--max-pps",
+        type=float,
+        default=0.0,
+        help="admission cap on aggregate nominal probe packets/second",
+    )
+    sub.add_argument(
+        "--rate-cap",
+        type=float,
+        default=0.0,
+        help="per-session token-bucket rate (packets/second); default sizes "
+        "each bucket from the session's own declared schedule",
+    )
+    sub.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="evict sessions idle this many seconds (default: derive the "
+        "deadline from each session's own spec)",
+    )
+
+
 def _cmd_live_reflect(args: argparse.Namespace) -> int:
     from repro.live import live_reflect
 
@@ -566,18 +612,24 @@ def _cmd_live_reflect(args: argparse.Namespace) -> int:
         seed=args.seed,
         registry=metrics,
         mode=args.mode,
-        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
-        max_sessions=args.max_sessions if args.max_sessions else None,
+        policy=_fleet_policy(args),
+        serve_sessions=args.serve_sessions if args.serve_sessions else None,
+        exit_idle=args.exit_idle if args.exit_idle > 0 else None,
         handle_sigint=True,
     )
-    sessions = protocol.sessions.values()
     print(
-        f"served {len(protocol.sessions)} session(s): "
-        f"received={sum(s.probes_received for s in sessions)} "
-        f"echoed={sum(s.probes_echoed for s in sessions)} "
+        f"served {protocol.sessions_admitted} session(s): "
+        f"received={protocol.probes_received_total} "
+        f"echoed={protocol.probes_echoed_total} "
         f"wire_errors={protocol.wire_errors} "
         f"unknown_session={protocol.unknown_session}"
     )
+    if protocol.admission_rejected or protocol.evicted or protocol.rate_limited_total:
+        print(
+            f"fleet: rejected={protocol.admission_rejected} "
+            f"evicted={protocol.evicted} "
+            f"rate_limited={protocol.rate_limited_total}"
+        )
     if args.metrics_out and metrics is not None:
         write_metrics_document(args.metrics_out, metrics, None)
         print(f"metrics written to {args.metrics_out}")
@@ -606,6 +658,53 @@ def _cmd_live_loopback(args: argparse.Namespace) -> int:
     status = _print_live_result(run, args)
     _finish_live_obs(run, metrics, tracer, args)
     return status
+
+
+def _cmd_live_fleet(args: argparse.Namespace) -> int:
+    from repro.live import fleet_loopback
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    soak = fleet_loopback(
+        _live_config(args),
+        n_sessions=args.sessions,
+        base_seed=args.seed,
+        policy=_fleet_policy(args),
+        faults=args.faults if args.faults != "none" else None,
+        registry=metrics,
+        budget=_live_budget(args),
+        stagger_seconds=args.stagger,
+    )
+    failed = [outcome for outcome in soak.outcomes if not outcome.ok]
+    print(
+        f"fleet soak: {len(soak.outcomes)} session(s), "
+        f"{len(soak.outcomes) - len(failed)} ok, {len(failed)} failed, "
+        f"{len(soak.degraded)} degraded"
+    )
+    print(
+        f"reflector: admitted={soak.sessions_admitted} "
+        f"active={soak.sessions_active} rejected={soak.admission_rejected} "
+        f"evicted={soak.evicted} rate_limited={soak.rate_limited} "
+        f"wire_errors={soak.wire_errors} unknown_session={soak.unknown_session}"
+    )
+    frequencies = [
+        outcome.result.frequency
+        for outcome in soak.outcomes
+        if outcome.ok and outcome.result is not None
+    ]
+    if frequencies:
+        print(
+            f"loss frequency: mean={sum(frequencies) / len(frequencies):.4f} "
+            f"min={min(frequencies):.4f} max={max(frequencies):.4f}"
+        )
+    for outcome in failed:
+        print(f"  {outcome.describe()}", file=sys.stderr)
+    if args.metrics_out and metrics is not None:
+        write_metrics_document(args.metrics_out, metrics, None)
+        print(f"metrics written to {args.metrics_out}")
+    if failed or soak.wire_errors:
+        print("fleet soak FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -771,11 +870,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="emulate forward-path loss with a named fault profile",
     )
     live_reflect.add_argument("--seed", type=int, default=1, help="impairment seed")
+    _add_fleet_policy_arguments(live_reflect)
     live_reflect.add_argument(
-        "--max-sessions", type=int, default=0, help="exit after this many finished sessions"
+        "--serve-sessions",
+        type=int,
+        default=0,
+        help="exit after this many finished sessions",
     )
     live_reflect.add_argument(
-        "--idle-timeout",
+        "--exit-idle",
         type=float,
         default=0.0,
         help="exit after a finished session plus this many idle seconds",
@@ -796,6 +899,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="emulate forward-path loss at the in-process reflector",
     )
     live_loopback.set_defaults(handler=_cmd_live_loopback)
+
+    live_fleet = live_commands.add_parser(
+        "fleet",
+        help="many-session loopback soak against one fleet reflector",
+    )
+    _add_live_probe_arguments(live_fleet)
+    live_fleet.add_argument(
+        "--sessions", type=int, default=50, help="concurrent sender sessions"
+    )
+    live_fleet.add_argument(
+        "--stagger",
+        type=float,
+        default=0.0,
+        help="stagger session starts by this many seconds each",
+    )
+    live_fleet.add_argument(
+        "--faults",
+        choices=sorted(_FAULT_PROFILES),
+        default="none",
+        help="emulate forward-path loss at the in-process reflector",
+    )
+    _add_fleet_policy_arguments(live_fleet)
+    live_fleet.set_defaults(handler=_cmd_live_fleet)
 
     obs = commands.add_parser(
         "obs", help="inspect exported observability artifacts"

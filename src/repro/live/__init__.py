@@ -11,6 +11,9 @@ network using asyncio UDP endpoints and the monotonic wall clock:
 * :mod:`repro.live.sender` — the schedule walker (absolute-deadline
   pacing, graceful budget/Ctrl-C degradation),
 * :mod:`repro.live.reflector` — the crash-proof echo/sink far end,
+* :mod:`repro.live.fleet` — the multi-tenant hardening layer (admission
+  control, idle eviction, token-bucket backpressure, session watchdog)
+  and the many-session loopback soak harness,
 * :mod:`repro.live.impair` — deterministic receiver-side loss emulation
   for loopback testing,
 * :mod:`repro.live.runtime` — orchestration, streaming validation, and
@@ -23,6 +26,16 @@ live result is a plain :class:`~repro.core.badabing.BadabingResult` that
 ``analyze``, ``obs audit``, and the report tooling consume unchanged.
 """
 
+from repro.live.fleet import (
+    FleetLoopbackResult,
+    FleetPolicy,
+    FleetReflectorProtocol,
+    SessionReport,
+    TokenBucket,
+    fleet_loopback,
+    run_fleet_loopback,
+    start_fleet_reflector,
+)
 from repro.live.impair import ReceiverImpairment, bernoulli_drop, build_impairment
 from repro.live.reflector import ReflectorProtocol, ReflectorSession, start_reflector
 from repro.live.runtime import (
@@ -48,8 +61,16 @@ from repro.live.session import (
 from repro.live.wire import ProbeHeader, SessionSpec
 
 __all__ = [
+    "FleetLoopbackResult",
+    "FleetPolicy",
+    "FleetReflectorProtocol",
     "LiveRunResult",
     "LiveSender",
+    "SessionReport",
+    "TokenBucket",
+    "fleet_loopback",
+    "run_fleet_loopback",
+    "start_fleet_reflector",
     "ProbeHeader",
     "ReceiverImpairment",
     "ReflectorProtocol",

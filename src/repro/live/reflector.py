@@ -13,6 +13,7 @@ without any return path (see :meth:`ReflectorProtocol.probe_records`).
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -36,6 +37,17 @@ from repro.obs.metrics import MetricsRegistry, NullRegistry
 #: at the reflector).
 MODES = ("echo", "sink")
 
+#: How many retired session ids the reflector remembers (bounded LRU).
+#: Late duplicate probes from a retired session count as duplicates, not
+#: ``live.unknown_session`` — and the memory cost is one dict slot per id.
+RECENT_SESSIONS = 4096
+
+#: Ceiling on NAK datagrams per second across all peers. NAKs make a
+#: restarted reflector *visible* to senders mid-session, but an
+#: unthrottled NAK-per-probe would turn the reflector into a packet
+#: amplifier for spoofed traffic.
+NAK_PER_SECOND = 20
+
 
 @dataclass
 class ReflectorSession:
@@ -57,10 +69,17 @@ class ReflectorSession:
     probes_echoed: int = 0
     duplicate_arrivals: int = 0
     impaired_drops: int = 0
+    #: Probe datagrams refused by the per-tenant token bucket (fleet layer).
+    rate_limited: int = 0
     finished: bool = False
     #: Sender clock at FIN emission — bounds the receiver-side join (slots
     #: past it were never probed, so their silence is not loss).
     fin_send_ns: Optional[int] = None
+    #: Reflector clock at the last datagram from this session — drives the
+    #: fleet watchdog's idle-eviction deadline.
+    last_seen_ns: int = 0
+    #: Reflector clock when FIN first arrived (linger timer for retirement).
+    fin_seen_ns: Optional[int] = None
 
 
 class ReflectorProtocol(asyncio.DatagramProtocol):
@@ -87,6 +106,8 @@ class ReflectorProtocol(asyncio.DatagramProtocol):
         registry: Optional[MetricsRegistry] = None,
         impairment_for=None,
         mode: str = "echo",
+        recent_capacity: int = RECENT_SESSIONS,
+        nak_unknown: bool = True,
     ):
         if mode not in MODES:
             raise LiveSessionError(f"reflector mode must be one of {MODES}: {mode!r}")
@@ -95,15 +116,67 @@ class ReflectorProtocol(asyncio.DatagramProtocol):
         self.impairment_for = impairment_for
         self.mode = mode
         self.sessions: Dict[int, ReflectorSession] = {}
+        #: Bounded LRU of retired session ids (id -> retired_at_ns). Late
+        #: duplicate probes from these count as duplicates, not unknowns.
+        self.recent_sessions: "OrderedDict[int, int]" = OrderedDict()
+        self.recent_capacity = max(0, recent_capacity)
+        self.nak_unknown = nak_unknown
         self.wire_errors = 0
         self.unknown_session = 0
         self.unexpected_kind = 0
+        self.late_duplicates = 0
+        self.naks_sent = 0
+        self.sessions_admitted = 0
+        self.sessions_finished = 0
+        self.sessions_retired = 0
+        # Cumulative per-session counters folded in at retirement so the
+        # aggregate metrics stay monotonic as sessions leave the dict.
+        self._retired_probes_received = 0
+        self._retired_probes_echoed = 0
+        self._retired_impaired_drops = 0
+        self._retired_duplicates = 0
+        self._retired_rate_limited = 0
+        self._nak_window_start_ns = 0
+        self._nak_window_count = 0
         self.transport: Optional[asyncio.DatagramTransport] = None
         #: Set every time any datagram arrives — lets a serving loop
         #: implement an idle timeout without polling the socket.
         self.last_activity_ns = self.clock.now_ns()
         if self.registry.enabled:
             self.registry.add_collector(self._collect_metrics)
+
+    # Aggregates that survive session retirement.
+    @property
+    def probes_received_total(self) -> int:
+        return self._retired_probes_received + sum(
+            s.probes_received for s in self.sessions.values()
+        )
+
+    @property
+    def probes_echoed_total(self) -> int:
+        return self._retired_probes_echoed + sum(
+            s.probes_echoed for s in self.sessions.values()
+        )
+
+    @property
+    def impaired_drops_total(self) -> int:
+        return self._retired_impaired_drops + sum(
+            s.impaired_drops for s in self.sessions.values()
+        )
+
+    @property
+    def duplicate_arrivals_total(self) -> int:
+        return (
+            self._retired_duplicates
+            + self.late_duplicates
+            + sum(s.duplicate_arrivals for s in self.sessions.values())
+        )
+
+    @property
+    def rate_limited_total(self) -> int:
+        return self._retired_rate_limited + sum(
+            s.rate_limited for s in self.sessions.values()
+        )
 
     def _collect_metrics(self, registry: MetricsRegistry) -> None:
         registry.counter("live.wire_errors", role="reflector").value = self.wire_errors
@@ -113,15 +186,27 @@ class ReflectorProtocol(asyncio.DatagramProtocol):
         registry.counter("live.unexpected_kind", role="reflector").value = (
             self.unexpected_kind
         )
-        registry.counter("live.sessions", role="reflector").value = len(self.sessions)
-        registry.counter("live.probes_received", role="reflector").value = sum(
-            s.probes_received for s in self.sessions.values()
+        registry.counter("live.sessions", role="reflector").value = (
+            self.sessions_admitted
         )
-        registry.counter("live.probes_echoed", role="reflector").value = sum(
-            s.probes_echoed for s in self.sessions.values()
+        registry.gauge("live.sessions_active", role="reflector").set(
+            float(len(self.sessions))
         )
-        registry.counter("live.impaired_drops", role="reflector").value = sum(
-            s.impaired_drops for s in self.sessions.values()
+        registry.counter("live.late_duplicates", role="reflector").value = (
+            self.late_duplicates
+        )
+        registry.counter("live.naks_sent", role="reflector").value = self.naks_sent
+        registry.counter("live.probes_received", role="reflector").value = (
+            self.probes_received_total
+        )
+        registry.counter("live.probes_echoed", role="reflector").value = (
+            self.probes_echoed_total
+        )
+        registry.counter("live.impaired_drops", role="reflector").value = (
+            self.impaired_drops_total
+        )
+        registry.counter("live.rate_limited", role="reflector").value = (
+            self.rate_limited_total
         )
 
     # ------------------------------------------------------- protocol plumbing
@@ -150,31 +235,65 @@ class ReflectorProtocol(asyncio.DatagramProtocol):
         header, spec = wire.decode_hello(data)
         session = self.sessions.get(header.session)
         if session is None:
-            impairment = (
-                self.impairment_for(header.session)
-                if self.impairment_for is not None
-                else None
-            )
-            self.sessions[header.session] = ReflectorSession(
-                session_id=header.session,
-                peer=addr,
-                spec=spec,
-                started_ns=self.clock.now_ns(),
-                sender_epoch_ns=header.send_ns,
-                impairment=impairment,
-            )
+            if not self._admit(header, spec, addr):
+                return
+            session = self._register(header, spec, addr)
+        session.last_seen_ns = self.clock.now_ns()
         # Ack idempotently: HELLO retransmits must not reset the session.
         self._send(wire.encode_control(wire.HELLO_ACK, header.session, self.clock.now_ns()), addr)
+
+    def _admit(
+        self, header: wire.ProbeHeader, spec: wire.SessionSpec, addr: Tuple[str, int]
+    ) -> bool:
+        """Admission hook; the fleet layer overrides this with real policy."""
+        return True
+
+    def _register(
+        self, header: wire.ProbeHeader, spec: wire.SessionSpec, addr: Tuple[str, int]
+    ) -> ReflectorSession:
+        impairment = (
+            self.impairment_for(header.session)
+            if self.impairment_for is not None
+            else None
+        )
+        session = ReflectorSession(
+            session_id=header.session,
+            peer=addr,
+            spec=spec,
+            started_ns=self.clock.now_ns(),
+            sender_epoch_ns=header.send_ns,
+            impairment=impairment,
+        )
+        self.sessions[header.session] = session
+        self.sessions_admitted += 1
+        # A re-admitted id (sender restart) is live again, not "recent".
+        self.recent_sessions.pop(header.session, None)
+        return session
 
     def _on_probe(self, header: wire.ProbeHeader, addr: Tuple[str, int]) -> None:
         session = self.sessions.get(header.session)
         if session is None:
+            if header.session in self.recent_sessions:
+                # A straggler from a retired (finished/evicted) session:
+                # its record already counted, so this is a duplicate, not
+                # an unknown — and it refreshes the id's LRU position.
+                self.recent_sessions.move_to_end(header.session)
+                self.late_duplicates += 1
+                return
             # No handshake, no service: probes from unknown sessions are
             # dropped (and counted) rather than echoed, so a stray sender
-            # cannot use the reflector as a generic packet bouncer.
+            # cannot use the reflector as a generic packet bouncer. A
+            # throttled NAK tells a legitimate sender mid-session that the
+            # reflector restarted and lost its state.
             self.unknown_session += 1
+            if self.nak_unknown:
+                self._maybe_nak(header.session, addr)
             return
         now_ns = self.clock.now_ns()
+        session.last_seen_ns = now_ns
+        if not self._consume_rate_token(session, now_ns):
+            session.rate_limited += 1
+            return
         if session.impairment is not None:
             elapsed = (now_ns - session.started_ns) / 1e9
             if session.impairment.drop(header.slot, header.index, elapsed):
@@ -194,12 +313,58 @@ class ReflectorProtocol(asyncio.DatagramProtocol):
     def _on_fin(self, header: wire.ProbeHeader, addr: Tuple[str, int]) -> None:
         session = self.sessions.get(header.session)
         if session is not None:
-            session.finished = True
+            now_ns = self.clock.now_ns()
+            session.last_seen_ns = now_ns
+            if not session.finished:
+                session.finished = True
+                session.fin_seen_ns = now_ns
+                self.sessions_finished += 1
             if session.fin_send_ns is None:
                 session.fin_send_ns = header.send_ns
         # FIN_ACK even for unknown sessions: the sender may be retrying
         # after the reflector restarted; letting it terminate is harmless.
         self._send(wire.encode_control(wire.FIN_ACK, header.session, self.clock.now_ns()), addr)
+
+    def _consume_rate_token(self, session: ReflectorSession, now_ns: int) -> bool:
+        """Backpressure hook; the fleet layer overrides with a token bucket."""
+        return True
+
+    def _maybe_nak(self, session_id: int, addr: Tuple[str, int]) -> None:
+        """Send at most :data:`NAK_PER_SECOND` unknown-session notices."""
+        now_ns = self.clock.now_ns()
+        if now_ns - self._nak_window_start_ns >= 1_000_000_000:
+            self._nak_window_start_ns = now_ns
+            self._nak_window_count = 0
+        if self._nak_window_count >= NAK_PER_SECOND:
+            return
+        self._nak_window_count += 1
+        self.naks_sent += 1
+        self._send(wire.encode_control(wire.NAK, session_id, now_ns), addr)
+
+    def retire_session(self, session_id: int) -> Optional[ReflectorSession]:
+        """Drop a session's bulky state, remembering only its id (LRU).
+
+        Finished (FIN_ACKed) sessions previously stayed in the session
+        dict forever — unbounded memory on a long-lived reflector. The
+        retired id keeps answering late duplicate probes as duplicates
+        instead of ``live.unknown_session``; per-session counters fold
+        into cumulative totals so aggregate metrics never move backwards.
+        """
+        session = self.sessions.pop(session_id, None)
+        if session is None:
+            return None
+        self._retired_probes_received += session.probes_received
+        self._retired_probes_echoed += session.probes_echoed
+        self._retired_impaired_drops += session.impaired_drops
+        self._retired_duplicates += session.duplicate_arrivals
+        self._retired_rate_limited += session.rate_limited
+        self.sessions_retired += 1
+        if self.recent_capacity > 0:
+            self.recent_sessions[session_id] = self.clock.now_ns()
+            self.recent_sessions.move_to_end(session_id)
+            while len(self.recent_sessions) > self.recent_capacity:
+                self.recent_sessions.popitem(last=False)
+        return session
 
     def _send(self, payload: bytes, addr: Tuple[str, int]) -> None:
         if self.transport is not None:

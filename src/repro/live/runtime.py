@@ -40,6 +40,12 @@ from repro.core.validation import SequentialValidator
 from repro.errors import EstimationError, LiveSessionError
 from repro.experiments.runner import RunBudget
 from repro.io.traces import TraceWriter
+from repro.live.fleet import (
+    WATCHDOG_INTERVAL,
+    FleetPolicy,
+    FleetReflectorProtocol,
+    start_fleet_reflector,
+)
 from repro.live.impair import build_impairment
 from repro.live.reflector import ReflectorProtocol, start_reflector
 from repro.live.sender import LiveSender, SenderStats, open_sender
@@ -167,17 +173,20 @@ class ReflectorSummary:
     duplicate_arrivals: int = 0
     wire_errors: int = 0
     unknown_session: int = 0
+    rate_limited: int = 0
 
     @classmethod
     def from_protocol(cls, protocol: ReflectorProtocol) -> "ReflectorSummary":
-        sessions = protocol.sessions.values()
+        # The *_total properties fold in sessions already retired to the
+        # LRU, so the summary survives fleet-mode session turnover.
         return cls(
-            probes_received=sum(s.probes_received for s in sessions),
-            probes_echoed=sum(s.probes_echoed for s in sessions),
-            impaired_drops=sum(s.impaired_drops for s in sessions),
-            duplicate_arrivals=sum(s.duplicate_arrivals for s in sessions),
+            probes_received=protocol.probes_received_total,
+            probes_echoed=protocol.probes_echoed_total,
+            impaired_drops=protocol.impaired_drops_total,
+            duplicate_arrivals=protocol.duplicate_arrivals_total,
             wire_errors=protocol.wire_errors,
             unknown_session=protocol.unknown_session,
+            rate_limited=protocol.rate_limited_total,
         )
 
 
@@ -201,6 +210,11 @@ class LiveRunResult:
     @property
     def frequency(self) -> float:
         return self.result.frequency
+
+    @property
+    def degraded(self) -> bool:
+        """True when emission stopped early (budget, Ctrl-C, restart NAK)."""
+        return bool(self.stats.stopped)
 
     @property
     def manifest(self) -> Optional[RunManifest]:
@@ -357,16 +371,24 @@ async def run_live_reflector(
     registry: Optional[MetricsRegistry] = None,
     mode: str = "echo",
     stop_event: Optional[asyncio.Event] = None,
-    idle_timeout: Optional[float] = None,
-    max_sessions: Optional[int] = None,
+    policy: Optional[FleetPolicy] = None,
+    marking: Optional[MarkingConfig] = None,
+    serve_sessions: Optional[int] = None,
+    exit_idle: Optional[float] = None,
+    watchdog_interval: float = WATCHDOG_INTERVAL,
     handle_sigint: bool = False,
-) -> ReflectorProtocol:
-    """Serve reflector sessions until stopped, idle, or session-budget.
+) -> FleetReflectorProtocol:
+    """Serve fleet reflector sessions until stopped, idle, or session-budget.
 
-    ``idle_timeout`` ends service once at least one session finished and
-    no datagram has arrived for that many seconds; ``max_sessions`` ends
-    it once that many sessions have all finished. With neither, only the
-    stop event (or Ctrl-C with ``handle_sigint``) ends it.
+    Always runs the multi-tenant :class:`FleetReflectorProtocol` with its
+    eviction/retirement watchdog, so a long-lived reflector holds bounded
+    state no matter how many sessions pass through; ``policy`` adds
+    admission control and per-tenant rate caps on top (default: none).
+
+    ``exit_idle`` ends service once at least one session finished, none
+    are still active, and no datagram has arrived for that many seconds;
+    ``serve_sessions`` ends it once that many sessions finished. With
+    neither, only the stop event (or Ctrl-C with ``handle_sigint``).
     """
     registry = registry if registry is not None else NullRegistry()
     stop_event = stop_event if stop_event is not None else asyncio.Event()
@@ -376,11 +398,14 @@ async def run_live_reflector(
         if faults is not None
         else None
     )
-    transport, protocol = await start_reflector(
+    transport, protocol, watchdog_task = await start_fleet_reflector(
         host,
         port,
+        policy=policy,
+        watchdog_interval=watchdog_interval,
         registry=registry,
         impairment_for=impairment_for,
+        marking=marking,
         mode=mode,
     )
     loop = asyncio.get_running_loop()
@@ -388,17 +413,24 @@ async def run_live_reflector(
     try:
         while not stop_event.is_set():
             await asyncio.sleep(0.2)
-            sessions = protocol.sessions
-            finished = sum(1 for session in sessions.values() if session.finished)
-            if max_sessions is not None and finished >= max_sessions:
+            if serve_sessions is not None and protocol.sessions_finished >= serve_sessions:
                 break
-            if idle_timeout is not None and finished and finished == len(sessions):
+            if (
+                exit_idle is not None
+                and protocol.sessions_finished
+                and all(s.finished for s in protocol.sessions.values())
+            ):
                 idle = (protocol.clock.now_ns() - protocol.last_activity_ns) / 1e9
-                if idle >= idle_timeout:
+                if idle >= exit_idle:
                     break
     finally:
         if sigint_installed:
             _remove_sigint(loop)
+        watchdog_task.cancel()
+        try:
+            await watchdog_task
+        except asyncio.CancelledError:
+            pass
         transport.close()
     return protocol
 

@@ -20,6 +20,7 @@ exactly like a faulted simulator run.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -35,6 +36,12 @@ from repro.obs.metrics import MetricsRegistry, NullRegistry
 #: Handshake: per-attempt ack wait and number of HELLO attempts.
 HELLO_TIMEOUT = 0.5
 HELLO_ATTEMPTS = 5
+#: Exponential backoff with full jitter between HELLO attempts: attempt
+#: ``i`` sleeps ``uniform(0, min(cap, base × 2^i))`` (plus any BUSY
+#: RETRY_AFTER floor), so a thundering herd of rejected senders
+#: decorrelates instead of re-colliding on the admission gate.
+HELLO_BACKOFF_BASE = 0.1
+HELLO_BACKOFF_CAP = 2.0
 #: FIN is best-effort: fewer, shorter attempts.
 FIN_TIMEOUT = 0.3
 FIN_ATTEMPTS = 3
@@ -58,13 +65,22 @@ class SenderStats:
     duplicate_echoes: int = 0
     wire_errors: int = 0
     #: "" = ran to schedule end; otherwise "stop" / "packet-budget" /
-    #: "wall-budget" — why emission ended early.
+    #: "wall-budget" / "reflector-restart" — why emission ended early.
     stopped: str = ""
     elapsed_seconds: float = 0.0
+    #: HELLO datagrams sent before the reflector acknowledged.
+    hello_attempts: int = 0
+    #: HELLO attempts answered with BUSY (admission rejection + retry).
+    hello_busy: int = 0
 
     @property
     def completed(self) -> bool:
         return not self.stopped
+
+    @property
+    def degraded_reason(self) -> str:
+        """Alias making degraded-run handling read naturally at call sites."""
+        return self.stopped
 
 
 class SenderProtocol(asyncio.DatagramProtocol):
@@ -76,6 +92,13 @@ class SenderProtocol(asyncio.DatagramProtocol):
         self.recv_ns: Dict[SeqKey, int] = {}
         self.hello_acked = asyncio.Event()
         self.fin_acked = asyncio.Event()
+        self.hello_busy = asyncio.Event()
+        #: RETRY_AFTER hint (seconds) from the latest BUSY rejection.
+        self.retry_after: float = 0.0
+        self.busy_reason: int = 0
+        #: Set when a NAK arrives for our established session: the
+        #: reflector restarted and lost our state mid-measurement.
+        self.restart_detected = False
         self.wire_errors = 0
         self.duplicate_echoes = 0
         self.transport: Optional[asyncio.DatagramTransport] = None
@@ -99,6 +122,16 @@ class SenderProtocol(asyncio.DatagramProtocol):
                 self.hello_acked.set()
             elif header.kind == wire.FIN_ACK:
                 self.fin_acked.set()
+            elif header.kind == wire.BUSY:
+                _header, retry_after, reason = wire.decode_busy(data)
+                self.retry_after = retry_after
+                self.busy_reason = reason
+                self.hello_busy.set()
+            elif header.kind == wire.NAK:
+                # Only meaningful once the session was established —
+                # before that, admission speaks BUSY, not NAK.
+                if self.hello_acked.is_set() and not self.fin_acked.is_set():
+                    self.restart_detected = True
         except WireFormatError:
             self.wire_errors += 1
 
@@ -124,6 +157,10 @@ class LiveSender:
         stop_event: Optional[asyncio.Event] = None,
         on_progress: Optional[Callable[[List[ProbeRecord], float], None]] = None,
         progress_every_trains: int = 32,
+        hello_attempts: int = HELLO_ATTEMPTS,
+        hello_timeout: float = HELLO_TIMEOUT,
+        backoff_base: float = HELLO_BACKOFF_BASE,
+        backoff_cap: float = HELLO_BACKOFF_CAP,
     ):
         self.transport = transport
         self.protocol = protocol
@@ -135,6 +172,13 @@ class LiveSender:
         self.stop_event = stop_event if stop_event is not None else asyncio.Event()
         self.on_progress = on_progress
         self.progress_every_trains = max(1, progress_every_trains)
+        self.hello_attempts = max(1, hello_attempts)
+        self.hello_timeout = hello_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        # Deterministic per-session jitter stream: reproducible runs, yet
+        # distinct sessions decorrelate (full-jitter backoff needs that).
+        self._jitter = random.Random(protocol.session_id ^ 0x9E3779B97F4A7C15)
         self.send_ns: Dict[SeqKey, int] = {}
         self.epoch_ns: Optional[int] = None
         self.stats = SenderStats()
@@ -165,26 +209,74 @@ class LiveSender:
         registry.counter("live.wire_errors", role="sender").value = (
             self.protocol.wire_errors
         )
+        registry.counter("live.hello_attempts", role="sender").value = (
+            self.stats.hello_attempts
+        )
+        registry.counter("live.hello_busy", role="sender").value = (
+            self.stats.hello_busy
+        )
 
     # ---------------------------------------------------------------- handshake
+    def _backoff_delay(self, attempt: int, floor: float = 0.0) -> float:
+        """Full-jitter exponential backoff, floored at any RETRY_AFTER hint."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return floor + self._jitter.uniform(0.0, ceiling)
+
+    async def _await_hello_response(self, timeout: float) -> str:
+        """Wait for HELLO_ACK or BUSY, whichever lands first."""
+        acked = asyncio.ensure_future(self.protocol.hello_acked.wait())
+        busy = asyncio.ensure_future(self.protocol.hello_busy.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                {acked, busy}, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for task in (acked, busy):
+                if not task.done():
+                    task.cancel()
+        if self.protocol.hello_acked.is_set():
+            return "acked"
+        return "busy" if busy in done else "timeout"
+
     async def handshake(self) -> None:
-        """HELLO/HELLO_ACK with retries; raises LiveSessionError on timeout."""
-        for _attempt in range(HELLO_ATTEMPTS):
+        """HELLO/HELLO_ACK with jittered backoff retries.
+
+        A ``BUSY`` rejection is not a failure: the sender honors the
+        carried RETRY_AFTER hint (plus jitter) and re-HELLOs, so a burst
+        of sessions over the admission cap resolves itself as capacity
+        frees up. Raises :class:`~repro.errors.LiveSessionError` only
+        when every attempt timed out or was rejected.
+        """
+        rejected = False
+        for attempt in range(self.hello_attempts):
+            self.protocol.hello_busy.clear()
+            self.stats.hello_attempts += 1
             self.transport.sendto(
                 wire.encode_hello(
                     self.protocol.session_id, self.spec, self.clock.now_ns()
                 )
             )
-            try:
-                await asyncio.wait_for(
-                    self.protocol.hello_acked.wait(), timeout=HELLO_TIMEOUT
-                )
+            response = await self._await_hello_response(self.hello_timeout)
+            if response == "acked":
                 return
-            except asyncio.TimeoutError:
-                continue
+            if response == "busy":
+                rejected = True
+                self.stats.hello_busy += 1
+                delay = self._backoff_delay(attempt, floor=self.protocol.retry_after)
+            else:
+                delay = self._backoff_delay(attempt)
+            if attempt + 1 < self.hello_attempts and delay > 0.0:
+                await asyncio.sleep(delay)
+        if rejected:
+            reason = wire.BUSY_REASONS.get(self.protocol.busy_reason, "busy")
+            raise LiveSessionError(
+                f"reflector rejected HELLO ({reason} cap) after "
+                f"{self.stats.hello_attempts} attempts; last RETRY_AFTER "
+                f"{self.protocol.retry_after:.3f}s"
+            )
         raise LiveSessionError(
-            f"reflector did not acknowledge HELLO after {HELLO_ATTEMPTS} attempts "
-            f"({HELLO_ATTEMPTS * HELLO_TIMEOUT:.1f}s)"
+            f"reflector did not acknowledge HELLO after "
+            f"{self.stats.hello_attempts} attempts"
         )
 
     # ----------------------------------------------------------------- probing
@@ -207,6 +299,12 @@ class LiveSender:
             if self.stop_event.is_set():
                 self.stats.stopped = "stop"
                 break
+            if self.protocol.restart_detected:
+                # The reflector NAKed our established session: it
+                # restarted and lost the state. Probing on would only buy
+                # fake loss until the budget died — degrade now instead.
+                self.stats.stopped = "reflector-restart"
+                break
             if max_packets is not None and self.stats.packets_sent + k > max_packets:
                 self.stats.stopped = "packet-budget"
                 break
@@ -219,6 +317,9 @@ class LiveSender:
                 await asyncio.sleep(delay_ns / 1e9)
                 if self.stop_event.is_set():
                     self.stats.stopped = "stop"
+                    break
+                if self.protocol.restart_detected:
+                    self.stats.stopped = "reflector-restart"
                     break
             if self._m_timing is not None:
                 self._m_timing.observe(abs(clock.now_ns() - deadline_ns) / 1e9)
@@ -276,11 +377,18 @@ class LiveSender:
         while self.clock.now_ns() < deadline_ns:
             if len(self.protocol.recv_ns) >= self.stats.packets_sent:
                 return
+            if self.protocol.restart_detected:
+                # No reflector state, no outstanding echoes to wait for.
+                return
             await asyncio.sleep(DRAIN_POLL)
 
     async def _fin(self) -> None:
-        """Best-effort session teardown; the reflector also times out."""
-        for _attempt in range(FIN_ATTEMPTS):
+        """Best-effort session teardown; the reflector also times out.
+
+        Retries back off with jitter like HELLO — a fleet of sessions
+        finishing together must not synchronize their FIN retransmits.
+        """
+        for attempt in range(FIN_ATTEMPTS):
             self.transport.sendto(
                 wire.encode_control(
                     wire.FIN, self.protocol.session_id, self.clock.now_ns()
@@ -292,7 +400,8 @@ class LiveSender:
                 )
                 return
             except asyncio.TimeoutError:
-                continue
+                if attempt + 1 < FIN_ATTEMPTS:
+                    await asyncio.sleep(self._backoff_delay(attempt))
 
     def probe_records(self) -> List[ProbeRecord]:
         """Join the send log with collected echoes (raw OWDs)."""

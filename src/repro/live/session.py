@@ -36,6 +36,12 @@ def make_session_id(seed: int) -> int:
 
 def spec_for(config: BadabingConfig, seed: int) -> SessionSpec:
     """Quantize a :class:`BadabingConfig` into the wire-carried spec."""
+    if config.p > 1.0:
+        # Never clamp silently: p is a per-slot probability, and a config
+        # claiming p=1.5 is a bug at the call site, not a request for 1.0.
+        raise LiveSessionError(
+            f"p={config.p} is not a probability (> 1); refusing to clamp"
+        )
     p_ppm = int(round(config.p * PPM))
     if p_ppm <= 0:
         raise LiveSessionError(

@@ -55,8 +55,14 @@ PROBE = 3
 ECHO = 4
 FIN = 5
 FIN_ACK = 6
+#: HELLO rejected by admission control; carries a retry-after trailer.
+BUSY = 7
+#: "I don't know this session" — sent (rate-limited) in answer to PROBEs
+#: for sessions the reflector has no state for, so a sender can detect a
+#: reflector restart mid-session instead of probing into a void.
+NAK = 8
 
-_KINDS = frozenset((HELLO, HELLO_ACK, PROBE, ECHO, FIN, FIN_ACK))
+_KINDS = frozenset((HELLO, HELLO_ACK, PROBE, ECHO, FIN, FIN_ACK, BUSY, NAK))
 KIND_NAMES = {
     HELLO: "hello",
     HELLO_ACK: "hello-ack",
@@ -64,7 +70,14 @@ KIND_NAMES = {
     ECHO: "echo",
     FIN: "fin",
     FIN_ACK: "fin-ack",
+    BUSY: "busy",
+    NAK: "nak",
 }
+
+#: BUSY reason codes carried in the trailer.
+BUSY_SESSIONS = 1  #: concurrent-session cap reached
+BUSY_RATE = 2  #: aggregate probe-rate cap reached
+BUSY_REASONS = {BUSY_SESSIONS: "sessions", BUSY_RATE: "rate"}
 
 #: magic, version, kind, session, sequence, slot, index, k, send_ns.
 _HEADER = struct.Struct("!HBBQIIBBQ")
@@ -73,10 +86,13 @@ _ECHO_TRAILER = struct.Struct("!Q")
 #: schedule_seed, n_slots, slot_ns, p_ppm, packets_per_probe, improved,
 #: probe_size.
 _SPEC = struct.Struct("!QIQIBBH")
+#: retry_after_ms, reason code — appended to BUSY datagrams.
+_BUSY_TRAILER = struct.Struct("!IB")
 
 HEADER_SIZE = _HEADER.size
 ECHO_SIZE = HEADER_SIZE + _ECHO_TRAILER.size
 HELLO_SIZE = HEADER_SIZE + _SPEC.size
+BUSY_SIZE = HEADER_SIZE + _BUSY_TRAILER.size
 
 _U8 = (1 << 8) - 1
 _U16 = (1 << 16) - 1
@@ -312,7 +328,36 @@ def decode_hello(data: bytes) -> Tuple[ProbeHeader, SessionSpec]:
 
 
 def encode_control(kind: int, session: int, send_ns: int) -> bytes:
-    """A bare control datagram: HELLO_ACK, FIN, or FIN_ACK."""
-    if kind not in (HELLO_ACK, FIN, FIN_ACK):
+    """A bare control datagram: HELLO_ACK, FIN, FIN_ACK, or NAK."""
+    if kind not in (HELLO_ACK, FIN, FIN_ACK, NAK):
         raise WireFormatError(f"not a bare control kind: {kind}")
     return encode_header(ProbeHeader(kind, session, 0, 0, 0, 1, send_ns))
+
+
+# ----------------------------------------------------------- admission control
+def encode_busy(
+    session: int, retry_after_seconds: float, reason: int, send_ns: int
+) -> bytes:
+    """BUSY: HELLO rejected; retry after the carried hint (seconds)."""
+    if reason not in BUSY_REASONS:
+        raise WireFormatError(f"unknown BUSY reason code {reason!r}")
+    retry_after_ms = int(round(retry_after_seconds * 1000.0))
+    if not 0 <= retry_after_ms <= _U32:
+        raise WireFormatError(
+            f"retry_after out of range: {retry_after_seconds!r} seconds"
+        )
+    header = encode_header(ProbeHeader(BUSY, session, 0, 0, 0, 1, send_ns))
+    return header + _BUSY_TRAILER.pack(retry_after_ms, reason)
+
+
+def decode_busy(data: bytes) -> Tuple[ProbeHeader, float, int]:
+    """Decode a BUSY datagram into (header, retry_after_seconds, reason)."""
+    header = decode_header(data)
+    if header.kind != BUSY:
+        raise WireFormatError(f"expected BUSY, got kind {header.kind}")
+    if len(data) < BUSY_SIZE:
+        raise WireFormatError(f"short busy: {len(data)} bytes < {BUSY_SIZE}")
+    retry_after_ms, reason = _BUSY_TRAILER.unpack_from(data, HEADER_SIZE)
+    if reason not in BUSY_REASONS:
+        raise WireFormatError(f"unknown BUSY reason code {reason}")
+    return header, retry_after_ms / 1000.0, reason

@@ -1,0 +1,523 @@
+"""Multi-tenant fleet reflector tests: admission, eviction, backpressure.
+
+The synchronous tests drive :class:`FleetReflectorProtocol` directly with
+a fake clock and a recording transport (``datagram_received`` and
+``sweep`` are deliberately synchronous so policy behavior is testable
+without real time). The asyncio tests exercise the sender's BUSY-retry
+backoff, mid-session restart detection, and the fleet loopback soak the
+CI ``live-fleet`` job runs at larger scale.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BadabingConfig, MarkingConfig, ProbeConfig
+from repro.errors import ConfigurationError, LiveSessionError
+from repro.live import wire
+from repro.live.fleet import (
+    FleetPolicy,
+    FleetReflectorProtocol,
+    TokenBucket,
+    idle_deadline_seconds,
+    nominal_pps,
+    run_fleet_loopback,
+    start_fleet_reflector,
+)
+from repro.live.reflector import NAK_PER_SECOND
+from repro.live.runtime import run_live_loopback, run_live_send
+from repro.live.sender import LiveSender, open_sender
+from repro.live.session import make_session_id, schedule_from_spec, spec_for
+
+
+# ------------------------------------------------------------- fixtures
+class FakeClock:
+    """Deterministic nanosecond clock the sweep tests advance by hand."""
+
+    def __init__(self, start_ns: int = 1_000_000_000):
+        self.t = start_ns
+
+    def now_ns(self) -> int:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += int(seconds * 1e9)
+
+
+class FakeTransport:
+    """Records every outbound datagram for assertion."""
+
+    def __init__(self):
+        self.sent = []
+
+    def sendto(self, payload, addr=None):
+        self.sent.append((payload, addr))
+
+    def kinds(self):
+        return [wire.decode_header(payload).kind for payload, _addr in self.sent]
+
+
+def make_config(n_slots=40, slot=0.005, p=0.3, packets=3):
+    return BadabingConfig(
+        probe=ProbeConfig(slot=slot, probe_size=64, packets_per_probe=packets),
+        marking=MarkingConfig(tau=0.0),
+        p=p,
+        n_slots=n_slots,
+    )
+
+
+def make_protocol(policy=None, **kwargs):
+    clock = FakeClock()
+    protocol = FleetReflectorProtocol(policy=policy, clock=clock, **kwargs)
+    transport = FakeTransport()
+    protocol.connection_made(transport)
+    return protocol, transport, clock
+
+
+def hello(protocol, clock, seed, config=None, addr=None):
+    """Deliver a HELLO for ``seed``; returns (session_id, spec)."""
+    config = config if config is not None else make_config()
+    spec = spec_for(config, seed)
+    session_id = make_session_id(seed)
+    protocol.datagram_received(
+        wire.encode_hello(session_id, spec, clock.now_ns()),
+        addr if addr is not None else ("127.0.0.1", 40000 + seed),
+    )
+    return session_id, spec
+
+
+def probe(protocol, clock, session_id, slot, index, k=3, addr=None):
+    protocol.datagram_received(
+        wire.encode_probe(session_id, slot * 8 + index, slot, index, k, clock.now_ns()),
+        addr if addr is not None else ("127.0.0.1", 40001),
+    )
+
+
+# ----------------------------------------------------------- token bucket
+def test_token_bucket_caps_burst_and_refills():
+    bucket = TokenBucket(rate=10.0, burst=5.0, last_ns=0)
+    assert all(bucket.allow(0) for _ in range(5))
+    assert not bucket.allow(0)  # burst exhausted, no time elapsed
+    assert bucket.allow(100_000_000)  # +0.1s at 10/s refills one token
+    assert not bucket.allow(100_000_000)
+    # A long quiet period refills to the burst cap, never beyond.
+    assert sum(bucket.allow(10_000_000_000) for _ in range(10)) == 5
+
+
+def test_token_bucket_rejects_nonpositive_parameters():
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate=1.0, burst=-1.0)
+
+
+def test_fleet_policy_validates():
+    with pytest.raises(ConfigurationError):
+        FleetPolicy(max_sessions=0)
+    with pytest.raises(ConfigurationError):
+        FleetPolicy(max_aggregate_pps=-1.0)
+    with pytest.raises(ConfigurationError):
+        FleetPolicy(rate_headroom=0.0)
+    with pytest.raises(ConfigurationError):
+        FleetPolicy(max_reports=0)
+
+
+def test_idle_deadline_prefers_policy_override():
+    spec = spec_for(make_config(n_slots=100, slot=0.005), 1)
+    assert idle_deadline_seconds(spec, FleetPolicy(idle_timeout=3.0)) == 3.0
+    derived = idle_deadline_seconds(spec, FleetPolicy(idle_grace=2.0))
+    assert derived == pytest.approx(100 * 0.005 + 2.0)
+
+
+# -------------------------------------------------------------- admission
+def test_session_cap_rejects_with_busy_retry_after():
+    policy = FleetPolicy(max_sessions=1, retry_after=0.7)
+    protocol, transport, clock = make_protocol(policy=policy)
+    sid_a, _ = hello(protocol, clock, seed=1)
+    assert transport.kinds() == [wire.HELLO_ACK]
+    sid_b, _ = hello(protocol, clock, seed=2)
+    assert transport.kinds() == [wire.HELLO_ACK, wire.BUSY]
+    header, retry_after, reason = wire.decode_busy(transport.sent[-1][0])
+    assert header.session == sid_b
+    assert retry_after == pytest.approx(0.7)
+    assert reason == wire.BUSY_SESSIONS
+    assert protocol.admission_rejected == 1
+    assert protocol.rejected_sessions_full == 1
+    assert list(protocol.sessions) == [sid_a]
+    # HELLO retransmits from the admitted tenant stay idempotent acks.
+    hello(protocol, clock, seed=1)
+    assert transport.kinds()[-1] == wire.HELLO_ACK
+    assert protocol.sessions_admitted == 1
+
+
+def test_aggregate_pps_cap_frees_capacity_on_retirement():
+    config = make_config()
+    spec = spec_for(config, 1)
+    policy = FleetPolicy(max_aggregate_pps=nominal_pps(spec) * 1.5)
+    protocol, transport, clock = make_protocol(policy=policy)
+    sid_a, _ = hello(protocol, clock, seed=1, config=config)
+    hello(protocol, clock, seed=2, config=config)
+    assert transport.kinds() == [wire.HELLO_ACK, wire.BUSY]
+    assert wire.decode_busy(transport.sent[-1][0])[2] == wire.BUSY_RATE
+    assert protocol.rejected_rate_full == 1
+    protocol.retire_session(sid_a)
+    assert protocol.admitted_pps == pytest.approx(0.0)
+    hello(protocol, clock, seed=2, config=config)
+    assert transport.kinds()[-1] == wire.HELLO_ACK
+
+
+# ----------------------------------------------------------- backpressure
+def test_token_bucket_rate_limits_flooding_tenant():
+    policy = FleetPolicy(rate_cap_pps=50.0, rate_burst_seconds=0.5)
+    protocol, _transport, clock = make_protocol(policy=policy)
+    sid, spec = hello(protocol, clock, seed=1, config=make_config(n_slots=200, p=0.5))
+    slots = list(schedule_from_spec(spec).probe_slots)
+    # Flood far past the 25-token burst without letting time advance.
+    sent = 0
+    for slot in slots:
+        for index in range(spec.packets_per_probe):
+            probe(protocol, clock, sid, slot, index, k=spec.packets_per_probe)
+            sent += 1
+    session = protocol.sessions[sid]
+    assert session.rate_limited == sent - 25
+    assert session.probes_received == 25
+    assert protocol.rate_limited_total == sent - 25
+
+
+def test_honest_sender_is_never_rate_limited_by_spec_bucket():
+    # Spec-derived buckets (rate = nominal × headroom) must pass a sender
+    # that emits exactly its declared schedule in real time.
+    protocol, _transport, clock = make_protocol(policy=FleetPolicy())
+    sid, spec = hello(protocol, clock, seed=3)
+    for slot in schedule_from_spec(spec).probe_slots:
+        clock.t = 1_000_000_000 + slot * spec.slot_ns
+        for index in range(spec.packets_per_probe):
+            probe(protocol, clock, sid, slot, index, k=spec.packets_per_probe)
+    assert protocol.sessions[sid].rate_limited == 0
+
+
+# --------------------------------------------------------------- eviction
+def test_idle_session_evicted_with_partial_result():
+    protocol, _transport, clock = make_protocol(policy=FleetPolicy(idle_grace=1.0))
+    config = make_config(n_slots=40)
+    sid, spec = hello(protocol, clock, seed=1, config=config)
+    slots = list(schedule_from_spec(spec).probe_slots)
+    # The sender delivers a few trains, then stalls forever.
+    for slot in slots[:3]:
+        clock.t = 1_000_000_000 + slot * spec.slot_ns
+        for index in range(spec.packets_per_probe):
+            probe(protocol, clock, sid, slot, index, k=spec.packets_per_probe)
+    assert protocol.sweep() == []  # not idle long enough yet
+    clock.advance(spec.duration_seconds + 1.5)
+    reports = protocol.sweep()
+    assert [r.reason for r in reports] == ["evicted"]
+    report = reports[0]
+    assert report.session_id == sid
+    assert report.probes_received == 3 * spec.packets_per_probe
+    # The tenant's partial data survives as a receiver-side estimate.
+    assert report.result is not None
+    assert 0.0 <= report.result.frequency <= 1.0
+    assert protocol.evicted == 1
+    assert sid not in protocol.sessions
+    assert sid in protocol.recent_sessions
+    assert list(protocol.reports) == reports
+
+
+def test_finished_session_retires_after_fin_linger():
+    protocol, _transport, clock = make_protocol(policy=FleetPolicy(fin_linger=1.0))
+    sid, spec = hello(protocol, clock, seed=1)
+    for slot in schedule_from_spec(spec).probe_slots:
+        clock.t = 1_000_000_000 + slot * spec.slot_ns
+        for index in range(spec.packets_per_probe):
+            probe(protocol, clock, sid, slot, index, k=spec.packets_per_probe)
+    protocol.datagram_received(
+        wire.encode_control(wire.FIN, sid, clock.now_ns()), ("127.0.0.1", 40001)
+    )
+    assert protocol.sweep() == []  # lingering for FIN retries
+    clock.advance(1.2)
+    reports = protocol.sweep()
+    assert [r.reason for r in reports] == ["finished"]
+    assert not reports[0].evicted
+    assert protocol.evicted == 0
+    assert protocol.sessions_retired == 1
+    # A straggler probe after retirement is a duplicate, not an unknown —
+    # and draws no NAK (the sender did nothing wrong).
+    naks_before = protocol.naks_sent
+    probe(protocol, clock, sid, 0, 0)
+    assert protocol.late_duplicates == 1
+    assert protocol.unknown_session == 0
+    assert protocol.naks_sent == naks_before
+
+
+def test_recent_session_lru_stays_bounded():
+    protocol, _transport, clock = make_protocol(recent_capacity=4)
+    sids = []
+    for seed in range(1, 11):
+        sid, _spec = hello(protocol, clock, seed=seed)
+        sids.append(sid)
+        protocol.retire_session(sid)
+    assert len(protocol.recent_sessions) == 4
+    assert list(protocol.recent_sessions) == sids[-4:]
+    # Retirement folds per-session counters into monotonic totals.
+    assert protocol.sessions_retired == 10
+
+
+def test_nak_throttle_bounds_amplification():
+    protocol, transport, clock = make_protocol()
+    for i in range(3 * NAK_PER_SECOND):
+        probe(protocol, clock, session_id=0xDEAD + i, slot=0, index=0)
+    assert protocol.unknown_session == 3 * NAK_PER_SECOND
+    assert protocol.naks_sent == NAK_PER_SECOND
+    assert transport.kinds().count(wire.NAK) == NAK_PER_SECOND
+    clock.advance(1.1)  # a fresh window reopens the (bounded) tap
+    probe(protocol, clock, session_id=0xBEEF, slot=0, index=0)
+    assert protocol.naks_sent == NAK_PER_SECOND + 1
+
+
+# ------------------------------------------------- spec_for p>1 regression
+def test_spec_for_refuses_to_clamp_p_above_one():
+    config = make_config()
+    config.p = 1.5  # corrupt post-construction, as a buggy caller would
+    with pytest.raises(LiveSessionError, match="refusing to clamp"):
+        spec_for(config, 1)
+
+
+def test_spec_for_still_accepts_p_of_exactly_one():
+    config = make_config(p=1.0)
+    assert spec_for(config, 1).p_ppm == wire.PPM
+
+
+# ------------------------------------------------------- cross-tenant fuzz
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_interleaved_sessions_never_bleed_state(data):
+    """Arbitrarily interleaved datagrams from many tenants stay isolated."""
+    n_sessions = data.draw(st.integers(min_value=2, max_value=5))
+    protocol, _transport, clock = make_protocol()
+    expected = {}
+    datagrams = []
+    for i in range(n_sessions):
+        seed = i + 1
+        config = make_config(n_slots=20 + 4 * i, p=0.4)
+        sid, spec = hello(protocol, clock, seed=seed, config=config)
+        keys = [
+            (slot, index)
+            for slot in schedule_from_spec(spec).probe_slots
+            for index in range(spec.packets_per_probe)
+        ]
+        chosen = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        expected[sid] = set(chosen)
+        datagrams.extend(
+            (sid, slot, index, spec.packets_per_probe) for slot, index in chosen
+        )
+    order = data.draw(st.permutations(datagrams))
+    for sid, slot, index, k in order:
+        probe(protocol, clock, sid, slot, index, k=k)
+    assert set(protocol.sessions) == set(expected)
+    for sid, keys in expected.items():
+        session = protocol.sessions[sid]
+        assert set(session.recv_ns) == keys
+        assert session.probes_received == len(keys)
+        assert session.duplicate_arrivals == 0
+    assert protocol.unknown_session == 0
+    assert protocol.wire_errors == 0
+
+
+# ------------------------------------------------------ asyncio integration
+def _quick_config(n_slots=60):
+    return make_config(n_slots=n_slots, slot=0.005, p=0.4)
+
+
+def test_busy_sender_backs_off_and_succeeds_on_retry():
+    async def scenario():
+        policy = FleetPolicy(max_sessions=1, retry_after=0.3)
+        transport, protocol, watchdog_task = await start_fleet_reflector(
+            "127.0.0.1", 0, policy=policy
+        )
+        port = transport.get_extra_info("sockname")[1]
+        # Occupy the only slot with a synthetic tenant, freeing it after
+        # the live sender has been rejected at least once.
+        blocker_spec = spec_for(_quick_config(), 999)
+        blocker_id = make_session_id(999)
+        header, spec = wire.decode_hello(
+            wire.encode_hello(blocker_id, blocker_spec, 0)
+        )
+        protocol._register(header, spec, ("127.0.0.1", 1))
+
+        async def free_slot_later():
+            await asyncio.sleep(0.45)
+            protocol.retire_session(blocker_id)
+
+        release = asyncio.ensure_future(free_slot_later())
+        try:
+            run = await run_live_send(
+                "127.0.0.1", port, config=_quick_config(), seed=5
+            )
+        finally:
+            await release
+            watchdog_task.cancel()
+            try:
+                await watchdog_task
+            except asyncio.CancelledError:
+                pass
+            transport.close()
+        return run, protocol
+
+    run, protocol = asyncio.run(scenario())
+    assert run.stats.hello_busy >= 1
+    assert run.stats.hello_attempts >= 2
+    assert run.stats.completed
+    assert protocol.admission_rejected >= 1
+    assert protocol.sessions_finished == 1
+
+
+def test_reflector_restart_mid_session_degrades_cleanly():
+    async def scenario():
+        transport, protocol, watchdog_task = await start_fleet_reflector(
+            "127.0.0.1", 0
+        )
+        port = transport.get_extra_info("sockname")[1]
+
+        async def restart_reflector():
+            await asyncio.sleep(0.3)
+            # A restarted reflector has an empty session map but the same
+            # socket; in-flight probes now hit the unknown-session path.
+            protocol.sessions.clear()
+
+        restart = asyncio.ensure_future(restart_reflector())
+        try:
+            run = await run_live_send(
+                "127.0.0.1", port, config=make_config(n_slots=400, p=0.4), seed=7
+            )
+        finally:
+            await restart
+            watchdog_task.cancel()
+            try:
+                await watchdog_task
+            except asyncio.CancelledError:
+                pass
+            transport.close()
+        return run, protocol
+
+    run, protocol = asyncio.run(scenario())
+    assert run.stats.stopped == "reflector-restart"
+    assert run.degraded
+    assert protocol.naks_sent >= 1
+    # The partial estimate is still a well-formed result object.
+    assert 0.0 <= run.result.frequency <= 1.0
+
+
+def test_fleet_loopback_matches_serial_runs():
+    """Concurrent tenants estimate exactly what serial runs estimate.
+
+    With tau=0 marking, outcomes depend only on which packets were
+    dropped — and the impairment shim is a pure function of (seed, slot,
+    index) — so each fleet session must reproduce its serial twin's
+    experiment outcomes bit for bit.
+    """
+    config = _quick_config(n_slots=80)
+    n_sessions, base_seed = 6, 11
+
+    serial = {}
+    for offset in range(n_sessions):
+        seed = base_seed + offset
+        run = asyncio.run(run_live_loopback(config=config, seed=seed, faults="mild"))
+        serial[seed] = run
+
+    soak = asyncio.run(
+        run_fleet_loopback(
+            config, n_sessions=n_sessions, base_seed=base_seed, faults="mild"
+        )
+    )
+    assert soak.ok
+    assert soak.wire_errors == 0
+    assert soak.unknown_session == 0
+    assert len(soak.outcomes) == n_sessions
+    for outcome in soak.outcomes:
+        (seed,) = outcome.seeds
+        twin = serial[seed]
+        run = outcome.result
+        assert run.session_id == twin.session_id
+        assert run.result.outcomes == twin.result.outcomes
+        assert run.result.frequency == twin.result.frequency
+        assert run.stats.packets_sent == twin.stats.packets_sent
+    # Every session was retired by the watchdog: bounded steady state.
+    assert soak.sessions_admitted == n_sessions
+    assert soak.sessions_active == 0
+
+
+def test_fleet_soak_acceptance():
+    """ISSUE acceptance: 50 tenants + a stalled one + an admission burst.
+
+    The stalled session must be evicted as a structured partial report,
+    the rejected sessions must succeed after honoring RETRY_AFTER, and
+    the reflector's session map must end bounded (empty).
+    """
+    n_sessions = 50
+    config = make_config(n_slots=60, slot=0.005, p=0.3)
+
+    async def scenario():
+        policy = FleetPolicy(
+            max_sessions=n_sessions - 10,
+            retry_after=0.3,
+            idle_timeout=1.5,
+            fin_linger=0.3,
+        )
+        transport, protocol, watchdog_task = await start_fleet_reflector(
+            "127.0.0.1", 0, policy=policy
+        )
+        port = transport.get_extra_info("sockname")[1]
+
+        async def stalled_session():
+            # HELLO then silence: the watchdog must evict this tenant.
+            stall_seed = 7777
+            sid = make_session_id(stall_seed)
+            s_transport, s_protocol = await open_sender("127.0.0.1", port, sid)
+            try:
+                sender = LiveSender(
+                    s_transport,
+                    s_protocol,
+                    spec_for(config, stall_seed),
+                    schedule_from_spec(spec_for(config, stall_seed)),
+                )
+                await sender.handshake()
+                return sid
+            finally:
+                s_transport.close()
+
+        tasks = [
+            run_live_send("127.0.0.1", port, config=config, seed=100 + i)
+            for i in range(n_sessions)
+        ]
+        stalled_id, *runs = await asyncio.gather(stalled_session(), *tasks)
+        # Give the watchdog time to retire finished tenants and evict the
+        # stalled one (idle_timeout 1.5s + sweep interval slack).
+        await asyncio.sleep(2.5)
+        try:
+            return stalled_id, runs, protocol
+        finally:
+            watchdog_task.cancel()
+            try:
+                await watchdog_task
+            except asyncio.CancelledError:
+                pass
+            transport.close()
+
+    stalled_id, runs, protocol = asyncio.run(scenario())
+    assert len(runs) == n_sessions
+    assert all(run.stats.completed for run in runs)
+    assert protocol.wire_errors == 0
+    # The burst over the admission cap was rejected, retried, and served.
+    assert protocol.admission_rejected >= 1
+    assert any(run.stats.hello_busy >= 1 for run in runs)
+    assert protocol.sessions_finished == n_sessions
+    # The stalled tenant was evicted as a structured partial report.
+    evicted = [r for r in protocol.reports if r.evicted]
+    assert [r.session_id for r in evicted] == [stalled_id]
+    # Bounded steady state: every session left the map.
+    assert protocol.sessions == {}
+    assert protocol.sessions_retired == n_sessions + 1

@@ -192,7 +192,7 @@ def test_send_and_reflect_interoperate_across_processes(tmp_path):
             "127.0.0.1",
             "--port",
             str(port),
-            "--max-sessions",
+            "--serve-sessions",
             "1",
         ],
         stdout=subprocess.PIPE,

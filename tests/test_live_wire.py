@@ -12,7 +12,16 @@ from repro.live import wire
 
 # --------------------------------------------------------------- round trips
 kinds = st.sampled_from(
-    [wire.HELLO, wire.HELLO_ACK, wire.PROBE, wire.ECHO, wire.FIN, wire.FIN_ACK]
+    [
+        wire.HELLO,
+        wire.HELLO_ACK,
+        wire.PROBE,
+        wire.ECHO,
+        wire.FIN,
+        wire.FIN_ACK,
+        wire.BUSY,
+        wire.NAK,
+    ]
 )
 u64 = st.integers(min_value=0, max_value=2**64 - 1)
 u32 = st.integers(min_value=0, max_value=2**32 - 1)
@@ -84,6 +93,31 @@ def test_echo_round_trip():
     assert (header.slot, header.index) == (99, 1)
     assert header.send_ns == 123456789
     assert recv_ns == 987654321
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    session=u64,
+    retry_ms=st.integers(min_value=0, max_value=2**32 - 1),
+    reason=st.sampled_from(sorted(wire.BUSY_REASONS)),
+    send_ns=u64,
+)
+def test_busy_round_trip(session, retry_ms, reason, send_ns):
+    payload = wire.encode_busy(session, retry_ms / 1000.0, reason, send_ns)
+    header, retry_after, decoded_reason = wire.decode_busy(payload)
+    assert header.kind == wire.BUSY
+    assert header.session == session
+    assert header.send_ns == send_ns
+    assert decoded_reason == reason
+    assert retry_after == pytest.approx(retry_ms / 1000.0, abs=1e-9)
+
+
+def test_nak_is_a_bare_control_datagram():
+    payload = wire.encode_control(wire.NAK, session=42, send_ns=7)
+    assert len(payload) == wire.HEADER_SIZE
+    header = wire.decode_header(payload)
+    assert header.kind == wire.NAK
+    assert header.session == 42
 
 
 def test_probe_padding_to_probe_size():
@@ -219,6 +253,28 @@ def test_spec_validate_rejects_bad_fields():
             spec.validate()
 
 
+def test_busy_requires_trailer():
+    busy = wire.encode_busy(1, 0.5, wire.BUSY_SESSIONS, 0)
+    with pytest.raises(WireFormatError):
+        wire.decode_busy(busy[:-1])
+
+
+def test_busy_rejects_unknown_reason():
+    busy = bytearray(wire.encode_busy(1, 0.5, wire.BUSY_SESSIONS, 0))
+    busy[-1] = 99
+    with pytest.raises(WireFormatError):
+        wire.decode_busy(bytes(busy))
+    with pytest.raises(WireFormatError):
+        wire.encode_busy(1, 0.5, 99, 0)
+
+
+def test_golden_busy_bytes():
+    """The BUSY trailer layout is frozen: retry_after u32 ms + reason u8."""
+    payload = wire.encode_busy(1, 1.5, wire.BUSY_RATE, 0)
+    assert len(payload) == wire.BUSY_SIZE == wire.HEADER_SIZE + 5
+    assert payload[wire.HEADER_SIZE:] == b"\x00\x00\x05\xdc\x02"  # 1500ms, rate
+
+
 # ------------------------------------------------------------------- fuzzing
 @settings(max_examples=300, deadline=None)
 @given(st.binary(max_size=100))
@@ -232,7 +288,7 @@ def test_fuzz_decode_header_never_raises_other_errors(data):
 @settings(max_examples=200, deadline=None)
 @given(st.binary(max_size=100))
 def test_fuzz_decode_hello_and_echo(data):
-    for decoder in (wire.decode_hello, wire.decode_echo):
+    for decoder in (wire.decode_hello, wire.decode_echo, wire.decode_busy):
         try:
             decoder(data)
         except WireFormatError:
