@@ -73,6 +73,81 @@ def test_enabled_registry_overhead_within_budget(archive):
     assert ratio <= MAX_OVERHEAD, report
 
 
+def _timed_with_exporter(registry_factory, tmp_path, tag):
+    registry = registry_factory()
+    from repro.obs.export import TelemetryExporter
+
+    exporter = TelemetryExporter(
+        registry, interval=1.0, path=tmp_path / f"bench-{tag}.ndjson"
+    )
+    exporter.start_thread()
+    try:
+        started = time.perf_counter()
+        result, _truth = run_badabing(metrics=registry, **RUN_KWARGS)
+        return time.perf_counter() - started, result, exporter
+    finally:
+        exporter.close()
+
+
+def test_exporter_overhead_within_budget(archive, tmp_path):
+    """Tentpole budget: attaching a live exporter at a 1s interval must
+    add at most 10% over the already-instrumented run, and under
+    ``NullRegistry`` the exporter is a strict no-op (no file, no thread,
+    no records)."""
+    _timed(MetricsRegistry)
+    bare_s = exported_s = float("inf")
+    bare_result = exported_result = None
+    for repeat in range(REPEATS):
+        elapsed, bare_result = _timed(MetricsRegistry)
+        bare_s = min(bare_s, elapsed)
+        elapsed, exported_result, _ = _timed_with_exporter(
+            MetricsRegistry, tmp_path, f"live-{repeat}"
+        )
+        exported_s = min(exported_s, elapsed)
+    ratio = exported_s / bare_s
+    report = (
+        f"telemetry-export overhead ({RUN_KWARGS['n_slots']} slots, "
+        f"1s interval, min of {REPEATS}):\n"
+        f"  registry only:       {bare_s * 1e3:8.1f} ms\n"
+        f"  registry + exporter: {exported_s * 1e3:8.1f} ms\n"
+        f"  ratio:               {ratio:8.3f}x (budget {MAX_OVERHEAD:.2f}x)"
+    )
+    archive("bench_export_overhead", report)
+    # The exporter must never perturb the simulation it watches.
+    assert exported_result.frequency == bare_result.frequency
+    assert exported_result.n_probes_sent == bare_result.n_probes_sent
+    # NullRegistry gate: zero work — no records, no snapshot file.
+    _, null_result, null_exporter = _timed_with_exporter(
+        NullRegistry, tmp_path, "null"
+    )
+    assert null_result.frequency == bare_result.frequency
+    assert null_exporter.seq == 0
+    assert not (tmp_path / "bench-null.ndjson").exists()
+    assert ratio <= MAX_OVERHEAD, report
+
+
+def test_exporter_does_not_change_registry_digest(tmp_path):
+    """Same seed, with and without export: the monitored registry's
+    snapshot digest must be byte-identical (seq/wall live only in the
+    record envelope, alert state only on the exporter's side registry)."""
+    from repro.obs.export import TelemetryExporter
+    from repro.obs.metrics import snapshot_digest
+
+    bare = MetricsRegistry()
+    run_badabing(metrics=bare, **RUN_KWARGS)
+
+    watched = MetricsRegistry()
+    exporter = TelemetryExporter(
+        watched, interval=0.01, path=tmp_path / "digest.ndjson"
+    )
+    exporter.start_thread()
+    try:
+        run_badabing(metrics=watched, **RUN_KWARGS)
+    finally:
+        exporter.close()
+    assert snapshot_digest(watched.snapshot()) == snapshot_digest(bare.snapshot())
+
+
 def test_audit_scorecard_archived(archive):
     """Archive the accuracy scorecard of the benchmark run for the report."""
     from repro.obs import scorecard_from_runs

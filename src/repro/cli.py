@@ -13,8 +13,18 @@ Subcommands:
   remote reflector, ``reflect`` to serve one, ``loopback`` for both ends
   in one process, ``fleet`` for a many-session loopback soak against one
   multi-tenant reflector);
-* ``obs`` — summarize or validate exported metrics/trace files;
+* ``dash`` — live terminal dashboard over a running exporter's HTTP
+  endpoint (``--url``) or an offline replay of a recorded snapshot
+  stream (``--replay``);
+* ``obs`` — summarize or validate exported metrics/trace/audit/export
+  files (``summary --by-label`` splits merged fleet/sweep shards);
 * ``list`` — show available scenarios, tables, and figures.
+
+Long-running commands (``sweep``, ``live reflect``, ``live fleet``)
+accept ``--export-out``/``--export-interval`` (and, for the live ones,
+``--export-port``/``--alert-rules``) to stream NDJSON registry
+snapshots and serve ``/metrics``, ``/healthz``, ``/sessions`` while
+they run.
 """
 
 from __future__ import annotations
@@ -59,6 +69,75 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         default="",
         help="write wall-clock phase spans as JSONL to this path",
     )
+
+
+def _add_export_arguments(
+    parser: argparse.ArgumentParser, with_http: bool = True
+) -> None:
+    parser.add_argument(
+        "--export-out",
+        default="",
+        help="stream NDJSON registry snapshots (repro.obs.export/1) to this path",
+    )
+    parser.add_argument(
+        "--export-interval",
+        type=float,
+        default=1.0,
+        help="seconds between periodic export snapshots (default 1)",
+    )
+    if with_http:
+        parser.add_argument(
+            "--export-port",
+            type=int,
+            default=None,
+            help="serve /metrics, /healthz and /sessions over HTTP on this "
+            "port (0 = ephemeral; omit to disable the endpoint)",
+        )
+    parser.add_argument(
+        "--alert-rules",
+        default="",
+        help="JSON alert-rule file evaluated each export "
+        "(default: the built-in fleet rules)",
+    )
+
+
+def _export_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "export_out", "")) or (
+        getattr(args, "export_port", None) is not None
+    )
+
+
+def _build_exporter(args: argparse.Namespace, registry, tracer=None, meta=None):
+    """TelemetryExporter from the --export-* flags, or None when unused."""
+    if registry is None or not _export_requested(args):
+        return None
+    from repro.obs import TelemetryExporter, default_fleet_rules, load_alert_rules
+
+    rules = (
+        load_alert_rules(args.alert_rules)
+        if args.alert_rules
+        else default_fleet_rules()
+    )
+    return TelemetryExporter(
+        registry,
+        interval=args.export_interval,
+        path=args.export_out or None,
+        http_port=getattr(args, "export_port", None),
+        rules=rules,
+        tracer=tracer,
+        meta=meta,
+    )
+
+
+def _announce_exporter(exporter, args: argparse.Namespace) -> None:
+    if exporter is None:
+        return
+    port = getattr(args, "export_port", None)
+    if port is not None:
+        where = f"127.0.0.1:{port}" if port else "127.0.0.1 (ephemeral port)"
+        print(f"telemetry: /metrics /healthz /sessions on http://{where}")
+    if args.export_out:
+        print(f"telemetry: streaming snapshots to {args.export_out}")
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -216,18 +295,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     metrics = MetricsRegistry()
     tracer = Tracer(tool="badabing-sweep") if args.trace_out else None
-    outcomes = sweep_badabing(
-        cells,
-        budget=budget,
-        metrics=metrics,
-        tracer=tracer,
-        workers=args.workers if args.workers > 1 else None,
-        max_wall_seconds=args.max_wall_seconds if args.max_wall_seconds else None,
-        scenario=args.scenario,
-        n_slots=n_slots,
-        warmup=profile.warmup,
-        improved=args.improved,
+    exporter = _build_exporter(
+        args, metrics, tracer=tracer, meta={"tool": "badabing-sweep"}
     )
+    _announce_exporter(exporter, args)
+    try:
+        outcomes = sweep_badabing(
+            cells,
+            budget=budget,
+            metrics=metrics,
+            tracer=tracer,
+            workers=args.workers if args.workers > 1 else None,
+            max_wall_seconds=args.max_wall_seconds if args.max_wall_seconds else None,
+            exporter=exporter,
+            scenario=args.scenario,
+            n_slots=n_slots,
+            warmup=profile.warmup,
+            improved=args.improved,
+        )
+    finally:
+        # Flush the final export record on every exit path, so a sweep
+        # killed by its deadline still leaves a valid snapshot stream.
+        if exporter is not None:
+            exporter.close()
     scorecard = scorecard_from_outcomes(outcomes)
     # Write requested artifacts before any stdout: a downstream reader
     # closing the pipe (`| head`) must not cost the exported files.
@@ -261,6 +351,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"audit written to {args.audit_out}")
     if tracer is not None:
         print(f"trace written to {args.trace_out}")
+    if args.export_out:
+        print(f"export snapshots written to {args.export_out}")
     return 0 if any(outcome.ok for outcome in outcomes) else 1
 
 
@@ -349,6 +441,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.errors import ConfigurationError
+    from repro.obs.dash import (
+        CLEAR,
+        fetch_sessions,
+        render_frame,
+        replay_documents,
+    )
+
+    if bool(args.url) == bool(args.replay):
+        raise ConfigurationError("dash needs exactly one of --url or --replay")
+
+    def show(document, first: bool) -> None:
+        if not args.no_clear and not args.once:
+            print(CLEAR, end="")
+        elif not first:
+            print()
+        print(render_frame(document), end="")
+
+    frames = 0
+    try:
+        if args.replay:
+            documents = list(replay_documents(args.replay))
+            if args.once:
+                documents = documents[-1:]
+            if args.frames:
+                documents = documents[: args.frames]
+            for index, document in enumerate(documents):
+                show(document, first=index == 0)
+                frames += 1
+                if args.interval and index + 1 < len(documents):
+                    _time.sleep(args.interval)
+        else:
+            while True:
+                show(fetch_sessions(args.url), first=frames == 0)
+                frames += 1
+                if args.once or (args.frames and frames >= args.frames):
+                    break
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if not args.no_clear and not args.once:
+        print(f"({frames} frame{'s' if frames != 1 else ''} rendered)")
+    return 0
+
+
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
     import json
 
@@ -372,6 +512,10 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
             print(f"warning: trace has {len(problems)} schema problem(s)", file=sys.stderr)
     if args.json:
         print(json.dumps(summary_document(document, trace_lines), indent=2))
+    elif args.by_label:
+        from repro.obs import render_grouped_summary
+
+        print(render_grouped_summary(document, trace_lines))
     else:
         print(render_summary(document, trace_lines))
     return 0
@@ -396,20 +540,28 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
 
     import json
 
+    if not (args.metrics or args.trace or args.audit or args.export):
+        print(
+            "error: nothing to validate — give a metrics file and/or "
+            "--trace/--audit/--export",
+            file=sys.stderr,
+        )
+        return 2
     failures = 0
-    try:
-        with open(args.metrics, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-    except OSError as exc:
-        print(f"error: cannot read {args.metrics}: {exc}", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as exc:
-        print(f"error: {args.metrics}: invalid JSON ({exc.msg})", file=sys.stderr)
-        return 2
-    problems = validate_metrics_document(document)
-    for problem in problems:
-        print(f"{args.metrics}: {problem}", file=sys.stderr)
-    failures += len(problems)
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.metrics}: invalid JSON ({exc.msg})", file=sys.stderr)
+            return 2
+        problems = validate_metrics_document(document)
+        for problem in problems:
+            print(f"{args.metrics}: {problem}", file=sys.stderr)
+        failures += len(problems)
     if args.trace:
         trace_problems = validate_trace_file(args.trace)
         for problem in trace_problems:
@@ -431,6 +583,13 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
         for problem in audit_problems:
             print(f"{args.audit}: {problem}", file=sys.stderr)
         failures += len(audit_problems)
+    if args.export:
+        from repro.obs.export import validate_export_file
+
+        export_problems = validate_export_file(args.export)
+        for problem in export_problems:
+            print(f"{args.export}: {problem}", file=sys.stderr)
+        failures += len(export_problems)
     if failures:
         print(f"validation FAILED: {failures} problem(s)", file=sys.stderr)
         return 1
@@ -603,20 +762,31 @@ def _add_fleet_policy_arguments(sub: argparse.ArgumentParser) -> None:
 def _cmd_live_reflect(args: argparse.Namespace) -> int:
     from repro.live import live_reflect
 
-    metrics = MetricsRegistry() if args.metrics_out else None
-    print(f"reflecting on {args.host}:{args.port} (mode={args.mode}) — Ctrl-C to stop")
-    protocol = live_reflect(
-        host=args.host,
-        port=args.port,
-        faults=args.faults if args.faults != "none" else None,
-        seed=args.seed,
-        registry=metrics,
-        mode=args.mode,
-        policy=_fleet_policy(args),
-        serve_sessions=args.serve_sessions if args.serve_sessions else None,
-        exit_idle=args.exit_idle if args.exit_idle > 0 else None,
-        handle_sigint=True,
+    metrics = (
+        MetricsRegistry() if (args.metrics_out or _export_requested(args)) else None
     )
+    exporter = _build_exporter(
+        args, metrics, meta={"tool": "badabing-reflector", "mode": args.mode}
+    )
+    print(f"reflecting on {args.host}:{args.port} (mode={args.mode}) — Ctrl-C to stop")
+    _announce_exporter(exporter, args)
+    try:
+        protocol = live_reflect(
+            host=args.host,
+            port=args.port,
+            faults=args.faults if args.faults != "none" else None,
+            seed=args.seed,
+            registry=metrics,
+            mode=args.mode,
+            policy=_fleet_policy(args),
+            serve_sessions=args.serve_sessions if args.serve_sessions else None,
+            exit_idle=args.exit_idle if args.exit_idle > 0 else None,
+            handle_sigint=True,
+            exporter=exporter,
+        )
+    finally:
+        if exporter is not None:
+            exporter.close()
     print(
         f"served {protocol.sessions_admitted} session(s): "
         f"received={protocol.probes_received_total} "
@@ -633,6 +803,8 @@ def _cmd_live_reflect(args: argparse.Namespace) -> int:
     if args.metrics_out and metrics is not None:
         write_metrics_document(args.metrics_out, metrics, None)
         print(f"metrics written to {args.metrics_out}")
+    if args.export_out:
+        print(f"export snapshots written to {args.export_out}")
     return 0
 
 
@@ -663,17 +835,30 @@ def _cmd_live_loopback(args: argparse.Namespace) -> int:
 def _cmd_live_fleet(args: argparse.Namespace) -> int:
     from repro.live import fleet_loopback
 
-    metrics = MetricsRegistry() if args.metrics_out else None
-    soak = fleet_loopback(
-        _live_config(args),
-        n_sessions=args.sessions,
-        base_seed=args.seed,
-        policy=_fleet_policy(args),
-        faults=args.faults if args.faults != "none" else None,
-        registry=metrics,
-        budget=_live_budget(args),
-        stagger_seconds=args.stagger,
+    metrics = (
+        MetricsRegistry() if (args.metrics_out or _export_requested(args)) else None
     )
+    exporter = _build_exporter(
+        args,
+        metrics,
+        meta={"tool": "badabing-fleet", "sessions": args.sessions},
+    )
+    _announce_exporter(exporter, args)
+    try:
+        soak = fleet_loopback(
+            _live_config(args),
+            n_sessions=args.sessions,
+            base_seed=args.seed,
+            policy=_fleet_policy(args),
+            faults=args.faults if args.faults != "none" else None,
+            registry=metrics,
+            budget=_live_budget(args),
+            stagger_seconds=args.stagger,
+            exporter=exporter,
+        )
+    finally:
+        if exporter is not None:
+            exporter.close()
     failed = [outcome for outcome in soak.outcomes if not outcome.ok]
     print(
         f"fleet soak: {len(soak.outcomes)} session(s), "
@@ -701,6 +886,8 @@ def _cmd_live_fleet(args: argparse.Namespace) -> int:
     if args.metrics_out and metrics is not None:
         write_metrics_document(args.metrics_out, metrics, None)
         print(f"metrics written to {args.metrics_out}")
+    if args.export_out:
+        print(f"export snapshots written to {args.export_out}")
     if failed or soak.wire_errors:
         print("fleet soak FAILED", file=sys.stderr)
         return 1
@@ -801,6 +988,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep scorecard + per-cell audits as JSON to this path",
     )
     _add_obs_arguments(sweep)
+    _add_export_arguments(sweep, with_http=False)
     _add_profile_argument(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -886,6 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
     live_reflect.add_argument(
         "--metrics-out", default="", help="write reflector metrics as JSON to this path"
     )
+    _add_export_arguments(live_reflect)
     live_reflect.set_defaults(handler=_cmd_live_reflect)
 
     live_loopback = live_commands.add_parser(
@@ -921,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emulate forward-path loss at the in-process reflector",
     )
     _add_fleet_policy_arguments(live_fleet)
+    _add_export_arguments(live_fleet)
     live_fleet.set_defaults(handler=_cmd_live_fleet)
 
     obs = commands.add_parser(
@@ -937,6 +1127,12 @@ def build_parser() -> argparse.ArgumentParser:
     obs_summary.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON summary"
     )
+    obs_summary.add_argument(
+        "--by-label",
+        action="store_true",
+        help="group merged fleet/sweep shards by session/cell label "
+        "instead of one flat table",
+    )
     obs_summary.set_defaults(handler=_cmd_obs_summary)
     obs_audit = obs_commands.add_parser(
         "audit", help="render an accuracy-audit document written by --audit-out"
@@ -947,16 +1143,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_audit.set_defaults(handler=_cmd_obs_audit)
     obs_validate = obs_commands.add_parser(
-        "validate", help="check metrics/trace/audit files against the obs schemas"
+        "validate", help="check metrics/trace/audit/export files against the obs schemas"
     )
-    obs_validate.add_argument("metrics", help="path written by --metrics-out")
+    obs_validate.add_argument(
+        "metrics", nargs="?", default="", help="path written by --metrics-out"
+    )
     obs_validate.add_argument(
         "--trace", default="", help="optional trace JSONL written by --trace-out"
     )
     obs_validate.add_argument(
         "--audit", default="", help="optional audit JSON written by --audit-out"
     )
+    obs_validate.add_argument(
+        "--export",
+        default="",
+        help="optional NDJSON snapshot stream written by --export-out",
+    )
     obs_validate.set_defaults(handler=_cmd_obs_validate)
+
+    dash = commands.add_parser(
+        "dash",
+        help="live terminal dashboard from an exporter endpoint or a "
+        "recorded snapshot stream",
+    )
+    dash.add_argument(
+        "--url",
+        default="",
+        help="base URL of a running exporter (e.g. http://127.0.0.1:9477)",
+    )
+    dash.add_argument(
+        "--replay",
+        default="",
+        help="replay a recorded --export-out NDJSON file offline",
+    )
+    dash.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between frames (default 1)",
+    )
+    dash.add_argument(
+        "--frames", type=int, default=0, help="stop after this many frames (0 = run on)"
+    )
+    dash.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame (the final recorded one under --replay)",
+    )
+    dash.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen between them",
+    )
+    dash.set_defaults(handler=_cmd_dash)
 
     table = commands.add_parser("table", help="reproduce a paper table (1-8)")
     table.add_argument("number", type=int)

@@ -200,6 +200,7 @@ def execute_parallel_sweep(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     max_wall_seconds: Optional[float] = None,
+    exporter=None,
 ) -> List[Any]:
     """Run prepared cells across ``workers`` processes; merge in cell order.
 
@@ -207,6 +208,10 @@ def execute_parallel_sweep(
     registries are merged into ``metrics`` and trace shards absorbed into
     ``tracer`` strictly in cell order as each cell is finalized, so the
     parent's merged state is independent of completion order.
+
+    ``exporter`` (when given) emits one ``kind="progress"`` snapshot per
+    finalized cell; the record envelope carries the cell label and status
+    while the metrics snapshot stays exactly the registry's merged state.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -267,6 +272,14 @@ def execute_parallel_sweep(
                     outcomes[payload.index] = _crash_outcome(
                         payload, value, time.monotonic() - started
                     )
+            if exporter is not None:
+                outcome = outcomes[payload.index]
+                status = "ok" if outcome.ok else (
+                    "budget_exhausted" if outcome.budget_exhausted else "failed"
+                )
+                exporter.export_now(
+                    kind="progress", cell=payload.label, status=status
+                )
     finally:
         pool.shutdown(wait=False)
     return outcomes

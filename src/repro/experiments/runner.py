@@ -723,16 +723,19 @@ def _prepare_cells(
     return prepared
 
 
+def _outcome_status(outcome: RunOutcome) -> str:
+    if outcome.ok:
+        return "ok"
+    return "budget_exhausted" if outcome.budget_exhausted else "failed"
+
+
 def _record_sweep_metrics(
     metrics: Optional[MetricsRegistry], outcome: RunOutcome
 ) -> None:
     """Sweep-level per-cell telemetry, recorded registry-side in cell order."""
     if metrics is None or not metrics.enabled:
         return
-    status = "ok" if outcome.ok else (
-        "budget_exhausted" if outcome.budget_exhausted else "failed"
-    )
-    metrics.counter("sweep.cells", status=status).inc()
+    metrics.counter("sweep.cells", status=_outcome_status(outcome)).inc()
     metrics.counter("sweep.retries").inc(max(0, outcome.attempts - 1))
     if not outcome.ok:
         metrics.counter("sweep.degraded_cells").inc()
@@ -745,6 +748,7 @@ def sweep_badabing(
     tracer: Optional[Tracer] = None,
     workers: Optional[int] = None,
     max_wall_seconds: Optional[float] = None,
+    exporter=None,
     **common: Any,
 ) -> List[RunOutcome]:
     """Run a whole grid of BADABING cells, never dying on one of them.
@@ -772,6 +776,13 @@ def sweep_badabing(
     When ``metrics`` is given the sweep also records per-status cell
     counts and retry totals (``sweep.cells{status=...}``,
     ``sweep.retries``); ``tracer`` gains one ``sweep.cell`` span per cell.
+
+    ``exporter`` (a :class:`~repro.obs.export.TelemetryExporter` over the
+    same ``metrics`` registry) gets one ``kind="progress"`` snapshot per
+    finalized cell — in both serial and parallel modes — so a long grid
+    streams per-cell progress instead of going dark until it returns.
+    Progress records live in the export envelope only; they never touch
+    the registry, so serial-vs-parallel digest equivalence is unaffected.
     """
     prepared = _prepare_cells(cells, common)
     if workers is not None and workers > 1:
@@ -808,6 +819,7 @@ def sweep_badabing(
             metrics=metrics,
             tracer=tracer,
             max_wall_seconds=max_wall_seconds,
+            exporter=exporter,
         )
         for outcome in outcomes:
             _record_sweep_metrics(metrics, outcome)
@@ -841,6 +853,10 @@ def sweep_badabing(
                 metrics.merge(cell_registry, series_labels={"cell": label})
         outcomes.append(outcome)
         _record_sweep_metrics(metrics, outcome)
+        if exporter is not None:
+            exporter.export_now(
+                kind="progress", cell=label, status=_outcome_status(outcome)
+            )
     return outcomes
 
 

@@ -149,6 +149,9 @@ class TraceWriter:
         experiments: List[Experiment],
         metadata: Optional[Dict[str, Any]] = None,
     ):
+        from repro.obs.artifacts import ensure_parent_dir
+
+        ensure_parent_dir(path, "trace", exc_type=TraceFormatError)
         try:
             self._handle = open(path, "w", encoding="utf-8")
         except OSError as exc:

@@ -362,7 +362,8 @@ class FleetReflectorProtocol(ReflectorProtocol):
             self.rejected_rate_full
         )
         registry.counter("live.evicted", role="reflector").value = self.evicted
-        registry.gauge("live.admitted_pps", role="reflector").set(self.admitted_pps)
+        # Point-in-time reading; see Gauge.sample for the digest contract.
+        registry.gauge("live.admitted_pps", role="reflector").sample(self.admitted_pps)
 
 
 async def watchdog(
@@ -443,6 +444,7 @@ async def run_fleet_loopback(
     budget: Optional[RunBudget] = None,
     stagger_seconds: float = 0.0,
     harvest_results: bool = False,
+    exporter=None,
 ) -> FleetLoopbackResult:
     """N concurrent sender sessions against one in-process fleet reflector.
 
@@ -452,6 +454,13 @@ async def run_fleet_loopback(
     of the same (config, seed) — the fleet invariant CI asserts. Sender
     failures (e.g. admission retries exhausted) become structured failed
     :class:`~repro.experiments.runner.RunOutcome` rows, never exceptions.
+
+    ``exporter`` (a :class:`~repro.obs.export.TelemetryExporter` over
+    ``registry``) is started once the reflector is listening and stopped
+    — with a final flushed snapshot — on every exit path, including
+    budget exhaustion and Ctrl-C drains, so a degraded soak still leaves
+    a valid export stream. Per-session shards stream as labeled rollups
+    as each session's registry merges in.
     """
     from repro.live.impair import build_impairment
     from repro.live.runtime import run_live_send
@@ -534,6 +543,8 @@ async def run_fleet_loopback(
             elapsed_seconds=loop.time() - started,
         )
 
+    if exporter is not None:
+        await exporter.start()
     try:
         outcomes = list(
             await asyncio.gather(*(one_session(i) for i in range(len(configs))))
@@ -554,6 +565,8 @@ async def run_fleet_loopback(
         except asyncio.CancelledError:
             pass
         transport.close()
+        if exporter is not None:
+            await exporter.stop()
     return FleetLoopbackResult(
         outcomes=outcomes,
         reports=list(protocol.reports),

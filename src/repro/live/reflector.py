@@ -189,7 +189,9 @@ class ReflectorProtocol(asyncio.DatagramProtocol):
         registry.counter("live.sessions", role="reflector").value = (
             self.sessions_admitted
         )
-        registry.gauge("live.sessions_active", role="reflector").set(
+        # ``sample`` (not ``set``): the peak must not depend on whether a
+        # live exporter happened to scrape while more sessions were up.
+        registry.gauge("live.sessions_active", role="reflector").sample(
             float(len(self.sessions))
         )
         registry.counter("live.late_duplicates", role="reflector").value = (

@@ -377,6 +377,7 @@ async def run_live_reflector(
     exit_idle: Optional[float] = None,
     watchdog_interval: float = WATCHDOG_INTERVAL,
     handle_sigint: bool = False,
+    exporter=None,
 ) -> FleetReflectorProtocol:
     """Serve fleet reflector sessions until stopped, idle, or session-budget.
 
@@ -389,6 +390,11 @@ async def run_live_reflector(
     are still active, and no datagram has arrived for that many seconds;
     ``serve_sessions`` ends it once that many sessions finished. With
     neither, only the stop event (or Ctrl-C with ``handle_sigint``).
+
+    ``exporter`` (a :class:`~repro.obs.export.TelemetryExporter` over
+    ``registry``) is started while serving and stopped — final snapshot
+    flushed — on every exit path, Ctrl-C included, so operators can watch
+    ``/metrics``/``/healthz``/``/sessions`` for the reflector's lifetime.
     """
     registry = registry if registry is not None else NullRegistry()
     stop_event = stop_event if stop_event is not None else asyncio.Event()
@@ -410,6 +416,8 @@ async def run_live_reflector(
     )
     loop = asyncio.get_running_loop()
     sigint_installed = handle_sigint and _install_sigint(loop, stop_event)
+    if exporter is not None:
+        await exporter.start()
     try:
         while not stop_event.is_set():
             await asyncio.sleep(0.2)
@@ -432,6 +440,8 @@ async def run_live_reflector(
         except asyncio.CancelledError:
             pass
         transport.close()
+        if exporter is not None:
+            await exporter.stop()
     return protocol
 
 

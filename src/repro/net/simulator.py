@@ -89,7 +89,9 @@ class Simulator:
             self.metrics.add_collector(self._collect_metrics)
 
     def _collect_metrics(self, registry: MetricsRegistry) -> None:
-        registry.gauge("sim.pending_events").set(self.pending())
+        # Point-in-time reading: ``sample`` pins the peak so a mid-run
+        # exporter scrape cannot perturb the snapshot digest.
+        registry.gauge("sim.pending_events").sample(self.pending())
         registry.gauge("sim.heap_peak").set(self.heap_peak)
         registry.gauge("sim.now_seconds").set(self._now)
 

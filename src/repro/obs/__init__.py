@@ -22,6 +22,16 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
+from repro.obs.alerts import (
+    ALERT_RULES_SCHEMA,
+    AlertEvent,
+    AlertRule,
+    AlertRules,
+    default_fleet_rules,
+    load_alert_rules,
+    write_alert_rules,
+)
+from repro.obs.artifacts import ensure_parent_dir, open_artifact
 from repro.obs.audit import (
     AUDIT_SCHEMA,
     AccuracyScorecard,
@@ -36,6 +46,26 @@ from repro.obs.audit import (
     scorecard_digest,
     scorecard_from_runs,
     write_audit_document,
+)
+from repro.obs.dash import (
+    dashboard_lines,
+    document_from_export_record,
+    fetch_sessions,
+    render_frame,
+    replay_documents,
+)
+from repro.obs.export import (
+    EXPORT_SCHEMA,
+    SESSIONS_SCHEMA,
+    SnapshotWriter,
+    TelemetryExporter,
+    parse_key,
+    read_export_records,
+    render_exposition,
+    rollup_sessions,
+    sessions_document,
+    validate_export_file,
+    validate_export_record,
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
@@ -66,8 +96,10 @@ from repro.obs.schema import (
 )
 from repro.obs.summary import (
     render_audit,
+    render_grouped_summary,
     render_scorecard,
     render_summary,
+    split_snapshot_by_label,
     summary_document,
 )
 from repro.obs.tracing import TRACE_SCHEMA, Tracer, trace_span
@@ -116,6 +148,33 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "TRACE_SCHEMA",
     "AUDIT_SCHEMA",
+    "EXPORT_SCHEMA",
+    "SESSIONS_SCHEMA",
+    "ALERT_RULES_SCHEMA",
+    "TelemetryExporter",
+    "SnapshotWriter",
+    "AlertRule",
+    "AlertRules",
+    "AlertEvent",
+    "default_fleet_rules",
+    "load_alert_rules",
+    "write_alert_rules",
+    "render_exposition",
+    "parse_key",
+    "rollup_sessions",
+    "sessions_document",
+    "read_export_records",
+    "validate_export_record",
+    "validate_export_file",
+    "dashboard_lines",
+    "render_frame",
+    "replay_documents",
+    "fetch_sessions",
+    "document_from_export_record",
+    "render_grouped_summary",
+    "split_snapshot_by_label",
+    "ensure_parent_dir",
+    "open_artifact",
 ]
 
 
@@ -135,9 +194,10 @@ def write_metrics_document(
     registry: MetricsRegistry,
     manifest: Optional[RunManifest] = None,
 ) -> Dict[str, Any]:
-    """Write the combined manifest + snapshot JSON document to ``path``."""
+    """Write the combined manifest + snapshot JSON document to ``path``,
+    creating missing parent directories."""
     document = metrics_document(registry, manifest)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_artifact(path, "metrics document") as handle:
         json.dump(document, handle, indent=2, sort_keys=False)
         handle.write("\n")
     return document

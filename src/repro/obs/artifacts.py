@@ -1,0 +1,53 @@
+"""Shared artifact-write plumbing for exported observability files.
+
+Every ``--*-out`` flag ultimately funnels through here: parent
+directories are created on demand (``--metrics-out runs/today/m.json``
+just works) and OS-level failures surface as structured
+:class:`~repro.errors.ObservabilityError`\\ s — which the CLI renders as
+``error: ...`` with exit code 2 — instead of a raw ``FileNotFoundError``
+traceback.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Type
+
+from repro.errors import ObservabilityError
+
+
+def ensure_parent_dir(
+    path,
+    what: str = "artifact",
+    exc_type: Type[Exception] = ObservabilityError,
+) -> None:
+    """Create the parent directory of ``path`` if it is missing.
+
+    Raises ``exc_type`` (default :class:`ObservabilityError`) when the
+    directory cannot be created — e.g. a path component is an existing
+    file, or permissions forbid it.
+    """
+    directory = os.path.dirname(os.fspath(path))
+    if not directory:
+        return
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise exc_type(f"cannot create directory for {what} {path}: {exc}") from exc
+
+
+def open_artifact(
+    path,
+    what: str = "artifact",
+    exc_type: Type[Exception] = ObservabilityError,
+):
+    """Open ``path`` for text writing, creating parent directories.
+
+    The returned handle is a normal file object; failures raise
+    ``exc_type`` with a human-readable message naming the artifact.
+    """
+    ensure_parent_dir(path, what, exc_type)
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        raise exc_type(f"cannot write {what} {path}: {exc}") from exc

@@ -644,10 +644,12 @@ def audit_document(
 
 def write_audit_document(path, document: Dict[str, Any]) -> Dict[str, Any]:
     """Write an audit document as JSON (strict: no NaN/Infinity)."""
+    from repro.obs.artifacts import open_artifact
+
     try:
         payload = json.dumps(document, indent=2, allow_nan=False)
     except ValueError as exc:
         raise ObservabilityError(f"audit document is not strict JSON: {exc}")
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_artifact(path, "audit document") as handle:
         handle.write(payload + "\n")
     return document

@@ -82,6 +82,20 @@ class Gauge:
         if value > self.peak:
             self.peak = value
 
+    def sample(self, value: float) -> None:
+        """Record a point-in-time reading with the peak pinned to it.
+
+        Pull-collectors publishing instantaneous state (pending events,
+        active sessions) run once per snapshot — which, with a live
+        exporter attached, can be many times mid-run instead of once at
+        the end. ``set`` would then capture transient peaks an
+        end-only snapshot never sees, making the snapshot digest depend
+        on *when* scrapes happened. ``sample`` keeps the digest a pure
+        function of simulation state.
+        """
+        self.value = value
+        self.peak = value
+
 
 class Histogram:
     """Fixed-bucket histogram: ``counts[i]`` holds observations with
@@ -177,10 +191,19 @@ class Series:
             self.stride *= 2
 
     def points(self) -> Tuple[List[float], List[float]]:
-        """Retained samples plus the freshest append when it was skipped."""
+        """Retained samples plus the freshest append when it was skipped.
+
+        Trimmed to matching lengths: a snapshot taken by a concurrent
+        exporter can land between the two appends inside :meth:`append`,
+        and the exported document must stay self-consistent even then.
+        """
+        times, values = list(self.times), list(self.values)
+        if len(times) != len(values):
+            shortest = min(len(times), len(values))
+            times, values = times[:shortest], values[:shortest]
         if self._tail_retained or self._tail_time is None:
-            return list(self.times), list(self.values)
-        return self.times + [self._tail_time], self.values + [self._tail_value]
+            return times, values
+        return times + [self._tail_time], values + [self._tail_value]
 
 
 class MetricsRegistry:
@@ -262,13 +285,20 @@ class MetricsRegistry:
                 for g in sorted(self._gauges.values(), key=_sort_key)
             },
             "histograms": {
+                # count is recomputed from the copied bucket list so a
+                # snapshot racing a concurrent observe() is always
+                # self-consistent (count == sum(counts)); on a quiescent
+                # registry the value is identical to the running counter.
                 render_key(h.name, h.labels): {
                     "buckets": list(h.buckets),
-                    "counts": list(h.counts),
-                    "count": h.count,
+                    "counts": counts,
+                    "count": sum(counts),
                     "sum": h.sum,
                 }
-                for h in sorted(self._histograms.values(), key=_sort_key)
+                for h, counts in (
+                    (h, list(h.counts))
+                    for h in sorted(self._histograms.values(), key=_sort_key)
+                )
             },
             "series": {
                 render_key(s.name, s.labels): {

@@ -193,6 +193,79 @@ def summary_document(
 
 
 # ---------------------------------------------------------------------------
+# Grouped (per-shard) rendering
+# ---------------------------------------------------------------------------
+
+def split_snapshot_by_label(
+    snapshot: Dict[str, Any],
+    group_keys: Iterable[str] = ("session", "cell"),
+) -> "tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]":
+    """Partition a merged snapshot into per-shard sub-snapshots.
+
+    Fleet soaks and sweeps merge per-session/per-cell registries with a
+    distinguishing series label (``session=session[3]``, ``cell=grid[0]``).
+    This splits every instrument carrying one of ``group_keys`` into its
+    shard's sub-snapshot; everything else (aggregated counters, shared
+    gauges) lands in the returned ``shared`` snapshot. Both halves keep
+    the original rendered keys, so each sub-snapshot is still valid input
+    for :func:`render_snapshot`.
+    """
+    from repro.obs.export import parse_key
+
+    keys = tuple(group_keys)
+
+    def empty() -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
+
+    shared = empty()
+    groups: Dict[str, Dict[str, Any]] = {}
+    for section in ("counters", "gauges", "histograms", "series"):
+        for key, value in snapshot.get(section, {}).items():
+            _, labels = parse_key(key)
+            group = next((labels[k] for k in keys if k in labels), None)
+            target = shared if group is None else groups.setdefault(group, empty())
+            target[section][key] = value
+    return shared, groups
+
+
+def render_grouped_summary(
+    document: Dict[str, Any],
+    trace_lines: Optional[Iterable[str]] = None,
+    group_keys: Iterable[str] = ("session", "cell"),
+    top: int = 10,
+) -> str:
+    """``obs summary --by-label``: one section per merged shard.
+
+    Falls back to the flat report (with a note) when the snapshot has no
+    shard-labeled instruments to group.
+    """
+    snapshot = document.get("metrics", {})
+    shared, groups = split_snapshot_by_label(snapshot, group_keys)
+    if not groups:
+        return (
+            "(no shard labels found — showing the flat summary)\n"
+            + render_summary(document, trace_lines)
+        )
+    out: List[str] = []
+    manifest = document.get("manifest")
+    if manifest:
+        out.extend(render_manifest(manifest))
+    out.append(f"shards: {len(groups)} (grouped by {'/'.join(group_keys)})")
+    for group in sorted(groups):
+        out.append("")
+        out.append(f"── {group} " + "─" * max(0, 40 - len(group)))
+        out.extend(render_snapshot(groups[group], top=top))
+    if any(shared[section] for section in shared):
+        out.append("")
+        out.append("── shared (aggregated across shards) " + "─" * 4)
+        out.extend(render_snapshot(shared, top=top))
+    if trace_lines is not None:
+        out.append("")
+        out.extend(render_trace_summary(trace_lines))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
 # Accuracy-audit rendering
 # ---------------------------------------------------------------------------
 

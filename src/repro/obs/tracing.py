@@ -119,7 +119,9 @@ class Tracer:
             yield span
 
     def write_jsonl(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        from repro.obs.artifacts import open_artifact
+
+        with open_artifact(path, "trace") as handle:
             for record in self.lines():
                 handle.write(json.dumps(record) + "\n")
 

@@ -1,0 +1,274 @@
+"""Tests for the terminal fleet dashboard and its CLI surfaces.
+
+The renderer is a pure function over ``repro.obs.sessions/1`` documents,
+so most tests drive it with synthetic dicts. The CLI tests cover
+``repro dash --replay`` (offline frames from a recorded export stream),
+``obs summary --by-label`` (per-shard grouping), ``obs validate
+--export``, and the hardened artifact-path behavior (missing parent
+directories are created; impossible paths become structured exit-2
+errors, not tracebacks).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs import write_metrics_document
+from repro.obs.dash import (
+    dashboard_lines,
+    document_from_export_record,
+    render_frame,
+    replay_documents,
+)
+from repro.obs.export import TelemetryExporter
+from repro.obs.metrics import MetricsRegistry
+
+
+def synthetic_document(**overrides):
+    document = {
+        "schema": "repro.obs.sessions/1",
+        "seq": 7,
+        "uptime": 12.5,
+        "wall": 1000.0,
+        "meta": {"tool": "badabing-fleet"},
+        "sessions": [
+            {
+                "label": "session[0]",
+                "f_hat": 0.301,
+                "f_delta": 0.0,
+                "d_hat_seconds": 0.052,
+                "violation_rate": 0.01,
+                "samples": 12,
+                "last_t": 3.0,
+            },
+            {
+                "label": "session[1]",
+                "f_hat": 0.292,
+                "f_delta": 0.004,
+                "d_hat_seconds": None,
+                "violation_rate": None,
+                "samples": 8,
+                "last_t": 2.5,
+            },
+            {
+                "label": "session[2]",
+                "f_hat": None,
+                "f_delta": None,
+                "d_hat_seconds": None,
+                "violation_rate": None,
+                "samples": 0,
+                "last_t": None,
+            },
+        ],
+        "drops": {"overflow": 14, "impair": 3},
+        "counters": {"live.sessions": 3, "live.admission_rejected": 1},
+        "gauges": {"live.sessions_active": 2},
+        "alerts": [],
+    }
+    document.update(overrides)
+    return document
+
+
+class TestDashboardRenderer:
+    def test_header_table_and_fleet_lines(self):
+        lines = dashboard_lines(synthetic_document())
+        assert lines[0] == "badabing-fleet dashboard · seq 7 · up 12.5s · 3 sessions"
+        assert "alerts: none firing" in lines
+        joined = "\n".join(lines)
+        assert "session[0]" in joined and "steady" in joined
+        assert "converging" in joined  # session[1] has a nonzero drift
+        assert "waiting" in joined  # session[2] has no estimate yet
+        assert "drops: overflow=14  impair=3" in joined
+        assert (
+            "fleet: active=2  admitted=3  rejected=1" in joined
+        )
+
+    def test_firing_alerts_banner_and_row_column(self):
+        document = synthetic_document(
+            alerts=[
+                {
+                    "rule": "stalled",
+                    "metric": "audit.f_hat{session=session[1]}",
+                    "firing": True,
+                    "since": 990.0,
+                    "severity": "warning",
+                },
+                {
+                    "rule": "quiet",
+                    "metric": "live.wire_errors",
+                    "firing": False,
+                    "since": None,
+                    "severity": "critical",
+                },
+            ]
+        )
+        lines = dashboard_lines(document)
+        assert any(line.startswith("ALERT [warning] stalled since 990") for line in lines)
+        assert not any("quiet" in line for line in lines if line.startswith("ALERT"))
+        row = next(line for line in lines if line.startswith("session[1]"))
+        assert "stalled" in row  # rule scoped to this session lands in its row
+        row = next(line for line in lines if line.startswith("session[0]"))
+        assert "stalled" not in row
+
+    def test_empty_document_renders_placeholder(self):
+        lines = dashboard_lines({"sessions": [], "meta": {}})
+        assert "(no session telemetry yet)" in lines
+
+    def test_render_frame_is_newline_terminated(self):
+        assert render_frame(synthetic_document()).endswith("\n")
+
+    def test_document_from_export_record(self):
+        reg = MetricsRegistry()
+        series = reg.series("audit.f_hat", session="session[0]")
+        series.append(1.0, 0.3)
+        exporter = TelemetryExporter(reg, meta={"tool": "unit"})
+        record = exporter.export_now()
+        document = document_from_export_record(record)
+        assert document["seq"] == record["seq"]
+        assert document["meta"] == {"tool": "unit"}
+        assert document["sessions"][0]["label"] == "session[0]"
+
+    def test_document_from_record_without_metrics_raises(self):
+        with pytest.raises(ObservabilityError):
+            document_from_export_record({"seq": 1})
+
+    def test_replay_of_empty_stream_raises(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        with pytest.raises(ObservabilityError):
+            list(replay_documents(path))
+
+
+def recorded_stream(tmp_path, frames=3):
+    """A small recorded export stream with per-session series."""
+    reg = MetricsRegistry()
+    path = tmp_path / "soak.ndjson"
+    exporter = TelemetryExporter(reg, path=path, meta={"tool": "badabing-fleet"})
+    for frame in range(frames):
+        for session in range(2):
+            series = reg.series("audit.f_hat", session=f"session[{session}]")
+            series.append(float(frame), 0.3 + 0.01 * session)
+        reg.counter("live.sessions").inc(0 if frame else 2)
+        exporter.export_now(kind="progress")
+    exporter.close()
+    return path
+
+
+class TestDashCli:
+    def test_replay_once_renders_last_frame(self, tmp_path, capsys):
+        path = recorded_stream(tmp_path)
+        assert main(["dash", "--replay", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "badabing-fleet dashboard" in out
+        assert "session[0]" in out and "session[1]" in out
+        assert "\x1b[2J" not in out  # --once never clears the screen
+
+    def test_replay_no_clear_renders_every_frame(self, tmp_path, capsys):
+        path = recorded_stream(tmp_path, frames=2)
+        code = main(
+            ["dash", "--replay", str(path), "--no-clear", "--interval", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # 2 progress frames + 1 final record.
+        assert out.count("badabing-fleet dashboard") == 3
+
+    def test_requires_exactly_one_feed(self, tmp_path, capsys):
+        assert main(["dash"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert (
+            main(["dash", "--url", "http://x", "--replay", str(tmp_path / "f")]) == 2
+        )
+
+    def test_unreachable_url_is_structured_error(self, capsys):
+        code = main(["dash", "--url", "http://127.0.0.1:9", "--once"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestByLabelSummaryCli:
+    def test_groups_merged_shards(self, tmp_path, capsys):
+        merged = MetricsRegistry()
+        for index in range(2):
+            shard = MetricsRegistry()
+            shard.counter("live.packets_sent", role="sender").inc(10 + index)
+            shard.series("audit.f_hat").append(1.0, 0.3)
+            merged.merge(shard, series_labels={"session": f"session[{index}]"})
+        path = tmp_path / "metrics.json"
+        write_metrics_document(path, merged)
+        assert main(["obs", "summary", str(path), "--by-label"]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 2 (grouped by session/cell)" in out
+        assert "── session[0]" in out and "── session[1]" in out
+        assert "shared (aggregated across shards)" in out
+
+    def test_falls_back_flat_without_shard_labels(self, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("live.packets_sent").inc(4)
+        path = tmp_path / "metrics.json"
+        write_metrics_document(path, reg)
+        assert main(["obs", "summary", str(path), "--by-label"]) == 0
+        out = capsys.readouterr().out
+        assert "no shard labels found" in out
+
+
+class TestValidateExportCli:
+    def test_validate_export_stream(self, tmp_path, capsys):
+        path = recorded_stream(tmp_path)
+        assert main(["obs", "validate", "--export", str(path)]) == 0
+        assert "validation OK" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt_stream(self, tmp_path, capsys):
+        path = tmp_path / "bad.ndjson"
+        path.write_text(json.dumps({"schema": "nope", "seq": 1}) + "\n")
+        assert main(["obs", "validate", "--export", str(path)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_validate_with_no_inputs_is_an_error(self, capsys):
+        assert main(["obs", "validate"]) == 2
+        assert "nothing to validate" in capsys.readouterr().err
+
+
+class TestArtifactPathHardening:
+    MEASURE = [
+        "measure", "episodic_cbr", "--p", "0.5", "--slots", "2000",
+        "--seed", "3", "--profile", "smoke",
+    ]
+
+    def test_metrics_out_creates_missing_parent_dirs(self, tmp_path, capsys):
+        target = tmp_path / "deep" / "nested" / "metrics.json"
+        code = main(self.MEASURE + ["--metrics-out", str(target)])
+        assert code == 0
+        assert target.exists()
+        document = json.loads(target.read_text())
+        assert "metrics" in document
+
+    def test_trace_out_creates_missing_parent_dirs(self, tmp_path, capsys):
+        target = tmp_path / "a" / "b" / "trace.jsonl"
+        code = main(self.MEASURE + ["--trace-out", str(target)])
+        assert code == 0
+        assert target.exists()
+
+    def test_impossible_path_is_structured_exit_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        code = main(
+            self.MEASURE + ["--metrics-out", str(blocker / "metrics.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_export_out_creates_missing_parent_dirs(self, tmp_path, capsys):
+        target = tmp_path / "x" / "y" / "soak.ndjson"
+        code = main(
+            [
+                "live", "fleet", "--sessions", "1", "--slots", "60",
+                "--export-out", str(target), "--export-interval", "5",
+            ]
+        )
+        assert code == 0
+        assert target.exists()

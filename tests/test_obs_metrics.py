@@ -55,6 +55,15 @@ class TestGauge:
         assert g.value == 3
         assert g.peak == 10
 
+    def test_sample_pins_peak_to_latest_reading(self):
+        # Point-in-time collectors use sample() so an extra mid-run
+        # scrape cannot leave a transient peak behind in the snapshot.
+        g = Gauge("pending")
+        g.sample(859)
+        g.sample(1)
+        assert g.value == 1
+        assert g.peak == 1
+
     def test_registry_identity(self):
         reg = MetricsRegistry()
         assert reg.gauge("g", k="v") is reg.gauge("g", k="v")
