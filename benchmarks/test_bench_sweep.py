@@ -50,7 +50,7 @@ def _timed_sweep(workers):
     return elapsed, outcomes, registry
 
 
-def test_parallel_sweep_matches_serial_and_records_speedup(archive):
+def test_parallel_sweep_matches_serial_and_records_speedup(archive, bench_record):
     cores = _effective_cores()
     serial_s, serial_outcomes, serial_registry = _timed_sweep(None)
     parallel_s, parallel_outcomes, parallel_registry = _timed_sweep(WORKERS)
@@ -77,6 +77,14 @@ def test_parallel_sweep_matches_serial_and_records_speedup(archive):
                 f"metrics_digest={serial_snap}",
             ]
         ),
+    )
+    bench_record(
+        "sweep_parallel",
+        parallel_s,
+        serial_seconds=serial_s,
+        speedup=speedup,
+        workers=WORKERS,
+        cores=cores,
     )
 
     if cores >= WORKERS:

@@ -510,6 +510,14 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
         problems = validate_trace_file(args.trace)
         if problems:
             print(f"warning: trace has {len(problems)} schema problem(s)", file=sys.stderr)
+    if args.slow:
+        from repro.errors import ObservabilityError
+        from repro.obs.summary import render_slowest_spans
+
+        if trace_lines is None:
+            raise ObservabilityError("--slow needs a trace file (--trace)")
+        print("\n".join(render_slowest_spans(trace_lines, top=args.slow)))
+        return 0
     if args.json:
         print(json.dumps(summary_document(document, trace_lines), indent=2))
     elif args.by_label:
@@ -540,10 +548,10 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
 
     import json
 
-    if not (args.metrics or args.trace or args.audit or args.export):
+    if not (args.metrics or args.trace or args.audit or args.export or args.bench):
         print(
             "error: nothing to validate — give a metrics file and/or "
-            "--trace/--audit/--export",
+            "--trace/--audit/--export/--bench",
             file=sys.stderr,
         )
         return 2
@@ -590,10 +598,75 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
         for problem in export_problems:
             print(f"{args.export}: {problem}", file=sys.stderr)
         failures += len(export_problems)
+    if args.bench:
+        from repro.obs.bench import validate_bench_document
+
+        try:
+            with open(args.bench, "r", encoding="utf-8") as handle:
+                bench_doc = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.bench}: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.bench}: invalid JSON ({exc.msg})", file=sys.stderr)
+            return 2
+        bench_problems = validate_bench_document(bench_doc)
+        for problem in bench_problems:
+            print(f"{args.bench}: {problem}", file=sys.stderr)
+        failures += len(bench_problems)
     if failures:
         print(f"validation FAILED: {failures} problem(s)", file=sys.stderr)
         return 1
     print("validation OK")
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.obs.bench import load_bench_document, render_profile_document
+
+    document = load_bench_document(args.bench)
+    print(
+        "\n".join(
+            render_profile_document(
+                document, scenario=args.scenario or None, top=args.top
+            )
+        )
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        compare_bench_documents,
+        load_bench_document,
+        render_bench_document,
+        write_bench_document,
+    )
+
+    if args.compare:
+        old = load_bench_document(args.compare[0])
+        new = load_bench_document(args.compare[1])
+        lines, regressions = compare_bench_documents(
+            old, new, threshold=args.threshold
+        )
+        print("\n".join(lines))
+        if regressions:
+            print(
+                f"{len(regressions)} perf regression(s) above "
+                f"{args.threshold:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    from repro.experiments.bench import run_bench_suite
+
+    document = run_bench_suite(
+        args.suite, progress=lambda message: print(message, file=sys.stderr)
+    )
+    out = args.out or f"BENCH_{args.suite}.json"
+    write_bench_document(out, document)
+    print("\n".join(render_bench_document(document)))
+    print(f"wrote {out}")
     return 0
 
 
@@ -1133,6 +1206,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="group merged fleet/sweep shards by session/cell label "
         "instead of one flat table",
     )
+    obs_summary.add_argument(
+        "--slow",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show only the N individually slowest spans from --trace",
+    )
     obs_summary.set_defaults(handler=_cmd_obs_summary)
     obs_audit = obs_commands.add_parser(
         "audit", help="render an accuracy-audit document written by --audit-out"
@@ -1159,7 +1239,58 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="optional NDJSON snapshot stream written by --export-out",
     )
+    obs_validate.add_argument(
+        "--bench",
+        default="",
+        help="optional BENCH_*.json document written by `repro bench`",
+    )
     obs_validate.set_defaults(handler=_cmd_obs_validate)
+    obs_profile = obs_commands.add_parser(
+        "profile",
+        help="render per-stage self-time table and call tree from a "
+        "BENCH_*.json document",
+    )
+    obs_profile.add_argument("bench", help="path written by `repro bench --out`")
+    obs_profile.add_argument(
+        "--scenario",
+        default="",
+        help="render only this scenario (default: all in the document)",
+    )
+    obs_profile.add_argument(
+        "--top", type=int, default=20, help="stage-table rows per scenario"
+    )
+    obs_profile.set_defaults(handler=_cmd_obs_profile)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run a pinned perf suite and emit a machine-readable "
+        "BENCH_<suite>.json trajectory point",
+    )
+    bench.add_argument(
+        "--suite",
+        default="fast",
+        help="pinned scenario suite to run (fast, smoke)",
+    )
+    bench.add_argument(
+        "--out",
+        default="",
+        help="output path (default: BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="instead of running, compare two bench documents and exit 1 "
+        "on regressions",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="slowdown ratio treated as a regression under --compare "
+        "(default 2.0)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     dash = commands.add_parser(
         "dash",

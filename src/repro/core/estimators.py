@@ -30,6 +30,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from repro import profiling as _profiling
 from repro.core.records import CoverageReport, ExperimentOutcome
 from repro.errors import EstimationError
 
@@ -204,6 +205,21 @@ def estimate_from_outcomes(
         This is the *only* failure mode — partial data degrades to a
         thinner estimate, never to an arithmetic error.
     """
+    with _profiling.profile_stage("estimator.fold"):
+        return _estimate_from_outcomes(
+            outcomes,
+            improved=improved,
+            include_extended_prefixes=include_extended_prefixes,
+            coverage=coverage,
+        )
+
+
+def _estimate_from_outcomes(
+    outcomes: Iterable[ExperimentOutcome],
+    improved: Optional[bool] = None,
+    include_extended_prefixes: bool = False,
+    coverage: Optional[CoverageReport] = None,
+) -> LossEstimate:
     outcome_list = list(outcomes)
     if not outcome_list:
         detail = f" ({coverage.describe()})" if coverage is not None else ""

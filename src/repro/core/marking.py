@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence
 
+from repro import profiling as _profiling
 from repro.config import MarkingConfig
 from repro.core.records import ProbeRecord
 from repro.errors import ConfigurationError
@@ -73,6 +74,10 @@ class CongestionMarker:
 
         ``probes`` must be sorted by send time (one probe per slot).
         """
+        with _profiling.profile_stage("marking.apply"):
+            return self._mark(probes)
+
+    def _mark(self, probes: Sequence[ProbeRecord]) -> MarkingResult:
         cfg = self.config
         for i in range(1, len(probes)):
             if probes[i].send_time < probes[i - 1].send_time:

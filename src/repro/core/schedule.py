@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro import profiling as _profiling
 from repro.core.records import CoverageReport, ExperimentOutcome
 from repro.errors import ConfigurationError
 
@@ -79,18 +80,25 @@ class GeometricSchedule:
         self.improved = improved
         self.experiments: List[Experiment] = []
         probed = set()
-        # An experiment must fit inside the measurement window, so starts are
-        # drawn over slots that leave room for the longest variant in play.
-        for slot in range(n_slots):
-            if rng.random() >= p:
-                continue
-            length = 3 if improved and rng.random() < 0.5 else 2
-            if slot + length > n_slots:
-                continue
-            experiment = Experiment(slot, length)
-            self.experiments.append(experiment)
-            probed.update(experiment.slots)
-        self.probe_slots: List[int] = sorted(probed)
+        prof = _profiling.ACTIVE
+        prof_frame = prof.start("schedule.generate") if prof is not None else None
+        try:
+            # An experiment must fit inside the measurement window, so starts
+            # are drawn over slots that leave room for the longest variant in
+            # play.
+            for slot in range(n_slots):
+                if rng.random() >= p:
+                    continue
+                length = 3 if improved and rng.random() < 0.5 else 2
+                if slot + length > n_slots:
+                    continue
+                experiment = Experiment(slot, length)
+                self.experiments.append(experiment)
+                probed.update(experiment.slots)
+            self.probe_slots: List[int] = sorted(probed)
+        finally:
+            if prof is not None:
+                prof.stop(prof_frame)
 
     # ------------------------------------------------------------- accounting
     @property

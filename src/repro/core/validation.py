@@ -23,6 +23,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro import profiling as _profiling
 from repro.core.estimators import count_patterns, update_pattern_counter
 from repro.core.records import CoverageReport, ExperimentOutcome
 
@@ -153,7 +154,8 @@ def validate_outcomes(
     coverage: Optional[CoverageReport] = None,
 ) -> ValidationReport:
     """Build a :class:`ValidationReport` from measured outcomes."""
-    return report_from_counter(count_patterns(outcomes), coverage=coverage)
+    with _profiling.profile_stage("validator.fold"):
+        return report_from_counter(count_patterns(outcomes), coverage=coverage)
 
 
 @dataclass(frozen=True)

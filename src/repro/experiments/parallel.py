@@ -41,6 +41,7 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor
+from contextlib import nullcontext
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -50,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.obs.tracing import Tracer, trace_span
+from repro.profiling import profiling
 
 #: How many times one cell may be the observed victim of a broken pool
 #: before it is permanently failed. Two lets an *innocent* cell that was
@@ -81,6 +83,13 @@ class CellPayload:
     budget: Optional[Any] = None
     metrics_mode: str = METRICS_NONE
     with_tracer: bool = False
+    #: When True (and the cell registry is live), the worker runs its cell
+    #: under a :class:`~repro.obs.profile.StageProfiler` and publishes the
+    #: stage stats as ``profile.*`` instruments on the cell registry, so
+    #: the parent's ordered ``merge(series_labels=)`` aggregates them
+    #: across shards (bench suites only — published stage timings are
+    #: wall-clock, so profiled registries are not digest-deterministic).
+    with_profiler: bool = False
     runner: Optional[Callable[..., Any]] = None
 
 
@@ -118,10 +127,23 @@ def run_cell(payload: CellPayload) -> CellResult:
         if payload.with_tracer
         else None
     )
+    profiler = None
+    if payload.with_profiler and registry is not None and registry.enabled:
+        from repro.obs.profile import StageProfiler
+
+        profiler = StageProfiler()
+    scope = profiling(profiler) if profiler is not None else nullcontext()
     with trace_span(tracer, "sweep.cell", label=payload.label, seed=payload.seed):
-        outcome = _runner.run_protected(
-            fn, label=payload.label, seed=payload.seed, budget=payload.budget, **kwargs
-        )
+        with scope:
+            outcome = _runner.run_protected(
+                fn,
+                label=payload.label,
+                seed=payload.seed,
+                budget=payload.budget,
+                **kwargs,
+            )
+    if profiler is not None:
+        profiler.publish(registry)
     if registry is not None:
         registry.detach_collectors()
     return CellResult(

@@ -749,6 +749,7 @@ def sweep_badabing(
     workers: Optional[int] = None,
     max_wall_seconds: Optional[float] = None,
     exporter=None,
+    profiled: bool = False,
     **common: Any,
 ) -> List[RunOutcome]:
     """Run a whole grid of BADABING cells, never dying on one of them.
@@ -783,6 +784,14 @@ def sweep_badabing(
     streams per-cell progress instead of going dark until it returns.
     Progress records live in the export envelope only; they never touch
     the registry, so serial-vs-parallel digest equivalence is unaffected.
+
+    ``profiled`` runs every cell under its own
+    :class:`~repro.obs.profile.StageProfiler` and publishes the stage
+    stats as ``profile.*`` instruments on the cell registry before the
+    ordered merge — identically in serial and parallel modes, so the
+    aggregated stage *call counts* still match across modes (stage
+    *seconds* are wall-clock and machine-dependent). Bench suites only:
+    a profiled registry's snapshot digest is no longer seed-deterministic.
     """
     prepared = _prepare_cells(cells, common)
     if workers is not None and workers > 1:
@@ -811,6 +820,7 @@ def sweep_badabing(
                     budget=budget,
                     metrics_mode=mode,
                     with_tracer=tracer is not None,
+                    with_profiler=profiled,
                 )
             )
         outcomes = execute_parallel_sweep(
@@ -845,10 +855,28 @@ def sweep_badabing(
 
                 cell_registry = MetricsRegistry() if metrics.enabled else NullRegistry()
                 merged = dict(merged, metrics=cell_registry)
+            cell_profiler = None
+            if profiled and cell_registry is not None and cell_registry.enabled:
+                from repro.obs.profile import StageProfiler
+                from repro.profiling import profiling as profiling_scope
+
+                cell_profiler = StageProfiler()
             with trace_span(tracer, "sweep.cell", label=label, seed=seed):
-                outcome = run_protected(
-                    run_badabing, label=label, seed=seed, budget=budget, **merged
-                )
+                if cell_profiler is not None:
+                    with profiling_scope(cell_profiler):
+                        outcome = run_protected(
+                            run_badabing,
+                            label=label,
+                            seed=seed,
+                            budget=budget,
+                            **merged,
+                        )
+                else:
+                    outcome = run_protected(
+                        run_badabing, label=label, seed=seed, budget=budget, **merged
+                    )
+            if cell_profiler is not None:
+                cell_profiler.publish(cell_registry)
             if cell_registry is not None and metrics is not None:
                 metrics.merge(cell_registry, series_labels={"cell": label})
         outcomes.append(outcome)

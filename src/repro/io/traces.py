@@ -18,8 +18,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Union
 
+from repro import profiling as _profiling
 from repro.config import MarkingConfig
 from repro.core.badabing import BadabingResult, BadabingTool
 from repro.core.estimators import estimate_from_outcomes
@@ -167,8 +169,15 @@ class TraceWriter:
     def write_probe(self, probe: ProbeRecord) -> None:
         if self._handle is None:
             raise TraceFormatError(f"trace writer for {self.path} is closed")
-        self._handle.write(_probe_line(probe) + "\n")
-        self._handle.flush()
+        prof = _profiling.ACTIVE
+        if prof is None:
+            self._handle.write(_probe_line(probe) + "\n")
+            self._handle.flush()
+        else:
+            started = perf_counter()
+            self._handle.write(_probe_line(probe) + "\n")
+            self._handle.flush()
+            prof.record("trace.io", perf_counter() - started)
         self.probes_written += 1
 
     def close(self) -> None:
@@ -193,16 +202,17 @@ def save_measurement(
         measurement = measurement_from_tool(measurement, metadata)
     elif metadata:
         measurement.metadata.update(metadata)
-    with TraceWriter(
-        path,
-        measurement.slot_width,
-        measurement.n_slots,
-        measurement.p,
-        measurement.experiments,
-        measurement.metadata,
-    ) as writer:
-        for probe in measurement.probes:
-            writer.write_probe(probe)
+    with _profiling.profile_stage("trace.io"):
+        with TraceWriter(
+            path,
+            measurement.slot_width,
+            measurement.n_slots,
+            measurement.p,
+            measurement.experiments,
+            measurement.metadata,
+        ) as writer:
+            for probe in measurement.probes:
+                writer.write_probe(probe)
 
 
 def _parse_probe_line(line: str) -> ProbeRecord:
@@ -239,7 +249,7 @@ def load_measurement(path: PathLike, recover: bool = False) -> Measurement:
         handle = open(path, "r", encoding="utf-8")
     except OSError as exc:
         raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
-    with handle:
+    with _profiling.profile_stage("trace.io"), handle:
         header_line = handle.readline()
         if not header_line.strip():
             raise TraceFormatError(f"{path}: empty trace file", line_number=1)

@@ -41,6 +41,9 @@ import struct
 from dataclasses import dataclass
 from typing import Tuple
 
+from time import perf_counter
+
+from repro import profiling as _profiling
 from repro.errors import WireFormatError
 
 #: First two header bytes of every live datagram.
@@ -178,6 +181,19 @@ def _check_range(name: str, value: int, ceiling: int) -> int:
 
 def encode_header(header: ProbeHeader) -> bytes:
     """Pack a header, validating every field range first."""
+    # Every encoder funnels through here, so this one leaf record covers
+    # the whole encode surface (probe/echo/hello/control/busy).
+    prof = _profiling.ACTIVE
+    if prof is None:
+        return _encode_header(header)
+    started = perf_counter()
+    try:
+        return _encode_header(header)
+    finally:
+        prof.record("wire.encode", perf_counter() - started)
+
+
+def _encode_header(header: ProbeHeader) -> bytes:
     if header.kind not in _KINDS:
         raise WireFormatError(f"unknown message kind {header.kind!r}")
     _check_range("session", header.session, _U64)
@@ -207,6 +223,17 @@ def encode_header(header: ProbeHeader) -> bytes:
 
 def decode_header(data: bytes) -> ProbeHeader:
     """Unpack and validate the fixed header of any live datagram."""
+    prof = _profiling.ACTIVE
+    if prof is None:
+        return _decode_header(data)
+    started = perf_counter()
+    try:
+        return _decode_header(data)
+    finally:
+        prof.record("wire.decode", perf_counter() - started)
+
+
+def _decode_header(data: bytes) -> ProbeHeader:
     if len(data) < HEADER_SIZE:
         raise WireFormatError(
             f"short datagram: {len(data)} bytes < header {HEADER_SIZE}"

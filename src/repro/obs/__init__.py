@@ -32,6 +32,21 @@ from repro.obs.alerts import (
     write_alert_rules,
 )
 from repro.obs.artifacts import ensure_parent_dir, open_artifact
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchRecorder,
+    compare_bench_documents,
+    environment_fingerprint,
+    load_bench_document,
+    make_bench_document,
+    peak_rss_bytes,
+    render_bench_document,
+    render_call_tree,
+    render_profile_document,
+    render_stage_table,
+    validate_bench_document,
+    write_bench_document,
+)
 from repro.obs.audit import (
     AUDIT_SCHEMA,
     AccuracyScorecard,
@@ -85,6 +100,20 @@ from repro.obs.metrics import (
     merge_snapshots,
     snapshot_digest,
 )
+from repro.obs.profile import (
+    PIPELINE_STAGES,
+    PROFILE_SCHEMA,
+    STAGE_BUCKETS,
+    NullProfiler,
+    StackSampler,
+    StageProfiler,
+    active_profiler,
+    merge_stage_maps,
+    profile_stage,
+    profiling,
+    set_active_profiler,
+    stages_from_registry,
+)
 from repro.obs.schema import (
     METRICS_SCHEMA,
     load_audit_document,
@@ -98,7 +127,9 @@ from repro.obs.summary import (
     render_audit,
     render_grouped_summary,
     render_scorecard,
+    render_slowest_spans,
     render_summary,
+    slowest_spans,
     split_snapshot_by_label,
     summary_document,
 )
@@ -175,6 +206,34 @@ __all__ = [
     "split_snapshot_by_label",
     "ensure_parent_dir",
     "open_artifact",
+    # profiling + perf trajectory (DESIGN.md §14)
+    "PROFILE_SCHEMA",
+    "BENCH_SCHEMA",
+    "PIPELINE_STAGES",
+    "STAGE_BUCKETS",
+    "StageProfiler",
+    "NullProfiler",
+    "StackSampler",
+    "active_profiler",
+    "set_active_profiler",
+    "profiling",
+    "profile_stage",
+    "merge_stage_maps",
+    "stages_from_registry",
+    "BenchRecorder",
+    "environment_fingerprint",
+    "peak_rss_bytes",
+    "make_bench_document",
+    "validate_bench_document",
+    "load_bench_document",
+    "write_bench_document",
+    "compare_bench_documents",
+    "render_bench_document",
+    "render_profile_document",
+    "render_stage_table",
+    "render_call_tree",
+    "slowest_spans",
+    "render_slowest_spans",
 ]
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import profiling as _profiling
 from repro.errors import ObservabilityError
 
 #: Collector callback: called with the registry at snapshot time so cheap
@@ -124,6 +125,27 @@ class Histogram:
         self.counts[bisect_left(self.buckets, value)] += 1
         self.count += 1
         self.sum += value
+
+    def load(self, counts, total: float) -> None:
+        """Overwrite state with externally-aggregated bucket counts.
+
+        The *assignment* counterpart of :meth:`observe`, for collectors
+        that publish a histogram kept elsewhere (the stage profiler's
+        per-stage timings): replaying observations from a collector
+        would add them again on every collect/snapshot/merge cycle,
+        whereas loading the full state is idempotent — the fix that lets
+        profiler histograms survive repeated exporter scrapes and
+        ``MetricsRegistry.merge`` across sweep shards without
+        double-counting.
+        """
+        if len(counts) != len(self.counts):
+            raise ObservabilityError(
+                f"histogram {self.name!r}: cannot load {len(counts)} bucket "
+                f"counts into {len(self.counts)} buckets"
+            )
+        self.counts = [int(n) for n in counts]
+        self.count = sum(self.counts)
+        self.sum = float(total)
 
     @property
     def mean(self) -> float:
@@ -346,6 +368,19 @@ class MetricsRegistry:
         instead of interleaving restarting sim clocks into one stream —
         counters/gauges/histograms still aggregate across the shards.
         """
+        prof = _profiling.ACTIVE
+        frame = prof.start("registry.merge") if prof is not None else None
+        try:
+            self._merge(other, series_labels)
+        finally:
+            if prof is not None:
+                prof.stop(frame)
+
+    def _merge(
+        self,
+        other: "MetricsRegistry",
+        series_labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
         other.collect()
         for (name, labels), src in other._counters.items():
             self.counter(name, **dict(labels)).value += src.value

@@ -139,6 +139,54 @@ def render_trace_summary(lines_in: Iterable[Any], top: int = 15) -> List[str]:
     return lines
 
 
+def slowest_spans(
+    lines_in: Iterable[Any], top: int = 10
+) -> List[Dict[str, Any]]:
+    """The ``top`` individually slowest finished spans in a trace stream.
+
+    Unlike :func:`aggregate_trace` (per-name totals), this keeps the raw
+    span records — one hot outlier is visible even when its name's total
+    is dwarfed by a chatty neighbour. Accepts JSONL strings or parsed
+    dicts; unfinished spans (``dur`` null) and junk lines are skipped.
+    """
+    spans: List[Dict[str, Any]] = []
+    for raw in lines_in:
+        if isinstance(raw, dict):
+            record = raw
+        else:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+        if record.get("type") != "span" or record.get("dur") is None:
+            continue
+        spans.append(record)
+    spans.sort(key=lambda span: -span["dur"])
+    return spans[: max(0, top)]
+
+
+def render_slowest_spans(lines_in: Iterable[Any], top: int = 10) -> List[str]:
+    """Render the top-N slowest individual spans (``obs summary --slow``)."""
+    ranked = slowest_spans(lines_in, top=top)
+    if not ranked:
+        return ["no finished spans in trace"]
+    lines = [f"slowest {len(ranked)} spans:"]
+    for rank, span in enumerate(ranked, start=1):
+        attrs = span.get("attrs") or {}
+        detail = " ".join(
+            f"{key}={attrs[key]}" for key in sorted(attrs)
+        )
+        lines.append(
+            f"  {rank:>2}. {span.get('name', '?'):<32} "
+            f"{span['dur']:.6f}s t0={span.get('t0', 0.0):.3f}"
+            + (f"  {detail}" if detail else "")
+        )
+    return lines
+
+
 def render_summary(
     document: Dict[str, Any],
     trace_lines: Optional[Iterable[str]] = None,

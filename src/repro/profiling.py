@@ -1,0 +1,101 @@
+"""Process-global active-profiler state (hot-path shim).
+
+This lives at the package root rather than inside :mod:`repro.obs`
+because the instrumented hot modules — the simulator event loop, link
+service, §6.1 marking, the §5 estimator fold, wire codecs — must be able
+to read the active profiler without importing ``repro.obs.__init__``,
+whose audit layer imports back into ``repro.core`` (an import cycle).
+The real profiler implementation, documents, and CLI plumbing live in
+:mod:`repro.obs.profile`, which re-exports everything here; user code
+should import from there.
+
+The contract for instrumentation sites is a single module-attribute read
+plus a ``None`` check per potential stage::
+
+    from repro import profiling as _profiling
+
+    prof = _profiling.ACTIVE
+    frame = prof.start("sim.run") if prof is not None else None
+    try:
+        ...
+    finally:
+        if prof is not None:
+            prof.stop(frame)
+
+With no profiler active (the default everywhere outside ``repro bench``)
+that is the entire cost, so profiling support adds nothing measurable to
+un-profiled runs and *never* touches a metrics registry — snapshot
+digests are byte-identical whether a profiler is active or not.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+#: Per-call duration buckets (seconds): sub-microsecond wire codecs up
+#: to multi-second sweep merges. Canonical here (instead of
+#: :mod:`repro.obs.profile`, which re-exports it) so per-packet hot sites
+#: can bucket inline into leaf accumulators without the obs import.
+STAGE_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+#: The process-global active profiler, or None. Read directly by hot
+#: paths (``_profiling.ACTIVE``); set via :func:`set_active_profiler` /
+#: :func:`profiling` so disabled profilers normalize to None.
+ACTIVE: Optional[Any] = None
+
+
+def active_profiler() -> Optional[Any]:
+    """Return the active :class:`~repro.obs.profile.StageProfiler`, if any."""
+    return ACTIVE
+
+
+def set_active_profiler(profiler: Optional[Any]) -> Optional[Any]:
+    """Install ``profiler`` as the process-global profiler.
+
+    Disabled profilers (``enabled`` false, e.g.
+    :class:`~repro.obs.profile.NullProfiler`) normalize to ``None`` so
+    instrumentation sites stay a single ``None`` check. Returns the
+    previously active profiler (which may be ``None``).
+    """
+    global ACTIVE
+    previous = ACTIVE
+    if profiler is not None and not getattr(profiler, "enabled", True):
+        profiler = None
+    ACTIVE = profiler
+    return previous
+
+
+@contextmanager
+def profiling(profiler: Optional[Any]) -> Iterator[Optional[Any]]:
+    """Scope ``profiler`` as the active profiler; restores the previous one.
+
+    Nesting is safe: a sweep cell activating its own profiler inside a
+    bench run shadows the bench profiler for the cell's duration and the
+    bench profiler resumes afterwards.
+    """
+    global ACTIVE
+    previous = set_active_profiler(profiler)
+    try:
+        yield ACTIVE
+    finally:
+        ACTIVE = previous
+
+
+@contextmanager
+def profile_stage(name: str) -> Iterator[Optional[Any]]:
+    """Scoped timer against the active profiler; free no-op when none.
+
+    Convenience for warm (per-run, per-phase) sites; per-packet hot paths
+    should use the manual ``start``/``stop`` pattern from the module
+    docstring instead to skip generator overhead.
+    """
+    prof = ACTIVE
+    if prof is None:
+        yield None
+        return
+    frame = prof.start(name)
+    try:
+        yield frame
+    finally:
+        prof.stop(frame)

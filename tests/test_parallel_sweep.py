@@ -221,3 +221,66 @@ class TestSweepMetricsTelemetry:
         assert counters["sweep.cells{status=ok}"] == 1
         assert counters["sweep.cells{status=budget_exhausted}"] == 1
         assert counters["sweep.degraded_cells"] == 1
+
+
+class TestProfiledSweep:
+    """Satellite regression: published profile.* instruments must survive
+    merge(series_labels=) across shards deterministically and without
+    double-counting."""
+
+    CELLS = [{"p": 0.3, "seed": 1}, {"p": 0.5, "seed": 2}]
+
+    def _profiled_sweep(self, workers):
+        registry = MetricsRegistry()
+        outcomes = sweep_badabing(
+            self.CELLS, metrics=registry, workers=workers, profiled=True, **CELL
+        )
+        assert all(o.ok for o in outcomes)
+        return registry
+
+    def test_profiled_stage_calls_identical_serial_vs_parallel(self):
+        serial = self._profiled_sweep(None).snapshot()["counters"]
+        parallel = self._profiled_sweep(2).snapshot()["counters"]
+        serial_calls = {
+            key: value
+            for key, value in serial.items()
+            if key.startswith("profile.stage_calls")
+        }
+        assert serial_calls, "profiled sweep published no stage stats"
+        parallel_calls = {
+            key: value
+            for key, value in parallel.items()
+            if key.startswith("profile.stage_calls")
+        }
+        # Stage call counts are a pure function of the cell seeds (the
+        # stride-sampled queue.service counter included), so the merged
+        # totals must be byte-identical serial vs parallel.
+        assert serial_calls == parallel_calls
+
+    def test_profiled_histograms_survive_merge_without_double_count(self):
+        registry = self._profiled_sweep(2)
+        first = registry.snapshot()
+        hists = {
+            key: value
+            for key, value in first["histograms"].items()
+            if key.startswith("profile.stage_seconds")
+        }
+        assert hists
+        calls = first["counters"]
+        for key, hist in hists.items():
+            stage_label = key.split("{", 1)[1]
+            assert sum(hist["counts"]) == hist["count"]
+            # Histogram count equals the published call counter for the
+            # same stage: one observation per call, not N per scrape.
+            assert hist["count"] == calls[f"profile.stage_calls{{{stage_label}"]
+        # Repeated snapshots (exporter scrapes) stay byte-identical.
+        assert registry.snapshot() == first
+
+    def test_unprofiled_sweep_publishes_no_profile_instruments(self):
+        registry = MetricsRegistry()
+        outcomes = sweep_badabing(
+            self.CELLS, metrics=registry, workers=2, **CELL
+        )
+        assert all(o.ok for o in outcomes)
+        counters = registry.snapshot()["counters"]
+        assert not any(key.startswith("profile.") for key in counters)
