@@ -1,0 +1,199 @@
+"""Fleet-controller overhead guards: decision latency and datagram tax.
+
+Two promises ride on the adaptive controller. First, the rebalancing
+``step()`` is a decision pass over every roster path (signals, shares,
+allocations, one recorded event) that the fleet driver calls between
+socket polls — at 50 paths it must stay under 5 ms per tick or it starts
+eating into probe-schedule deadlines. Second, interleaving those
+decision passes with a reflector's datagram hot path must not tax the
+per-datagram cost by more than 1.10× versus the same flood with the
+controller off. Both are measured min-of-several with interleaved modes
+and recorded through the shared :class:`~repro.obs.bench.BenchRecorder`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.config import BadabingConfig, MarkingConfig, ProbeConfig
+from repro.core.validation import report_from_counter
+from repro.live import wire
+from repro.live.controller import ControllerPolicy, FleetController, PathTarget
+from repro.live.fleet import FleetPolicy, FleetReflectorProtocol
+from repro.live.session import make_session_id, spec_for
+
+N_PATHS = 50
+N_TICKS = 40
+REPEATS = 3
+MAX_STEP_SECONDS = 0.005
+MAX_DATAGRAM_RATIO = 1.10
+
+FLOOD_PACKETS = 30_000
+# One decision pass (plus a full 50-path completion round) per 2500
+# datagrams when "on". Still far denser than production — at the default
+# 0.25 s rebalance interval a 180 pps path sees one pass per ~45
+# datagrams of *fleet-wide* traffic, and a pass completes a handful of
+# sessions, not the whole roster.
+STEP_EVERY = 2_500
+
+
+class _SteppingClock:
+    """Monotonic fake clock advancing a fixed step per reading."""
+
+    def __init__(self, step_ns: int = 2_000):
+        self.t = 1_000_000_000
+        self.step_ns = step_ns
+
+    def now_ns(self) -> int:
+        self.t += self.step_ns
+        return self.t
+
+
+class _NullTransport:
+    def sendto(self, payload, addr=None):
+        pass
+
+
+def _config() -> BadabingConfig:
+    return BadabingConfig(
+        probe=ProbeConfig(slot=0.005, probe_size=64, packets_per_probe=3),
+        marking=MarkingConfig(tau=0.0),
+        p=0.3,
+        n_slots=200_000,
+    )
+
+
+def _roster(n_paths: int):
+    config = _config()
+    return [PathTarget(name=f"path-{i:03d}", config=config) for i in range(n_paths)]
+
+
+def _make_controller(n_paths: int) -> FleetController:
+    policy = ControllerPolicy(
+        budget_slots=100_000_000, round_slots=200, min_session_slots=40
+    )
+    return FleetController(_roster(n_paths), policy=policy, clock=_SteppingClock())
+
+
+def _report(n_slots: int, lossy: bool):
+    if lossy:
+        # Violations keep §5.4 unacceptable; the path stays unconverged.
+        return report_from_counter(
+            Counter({"M": n_slots, "01": 1, "10": 1, "010": 3, "101": 3})
+        )
+    return report_from_counter(Counter({"M": n_slots}))
+
+
+def _timed_ticks(controller: FleetController) -> float:
+    """Run N_TICKS step→complete rounds; time only the decision passes."""
+    stepped = 0.0
+    for tick in range(N_TICKS):
+        started = time.perf_counter()
+        launches = controller.step()
+        stepped += time.perf_counter() - started
+        for directive in launches:
+            # Half the roster keeps swinging (stays hungry), half settles:
+            # every step exercises both the converged-monitoring and the
+            # rebalance-toward-unconverged branches.
+            lossy = int(directive.path[-3:]) % 2 == 0
+            frequency = (0.5 if directive.round_index % 2 else 0.1) if lossy else 0.0
+            controller.on_session_complete(
+                directive.path,
+                directive.round_index,
+                frequency,
+                _report(directive.n_slots, lossy),
+                duration_seconds=0.001,
+            )
+    return stepped / N_TICKS
+
+
+def test_controller_step_latency_at_50_paths(archive, bench_record):
+    _timed_ticks(_make_controller(N_PATHS))  # warm allocator/caches
+    per_tick = float("inf")
+    for _ in range(REPEATS):
+        per_tick = min(per_tick, _timed_ticks(_make_controller(N_PATHS)))
+    report = (
+        f"controller rebalancing pass ({N_PATHS} paths, {N_TICKS} ticks, "
+        f"min of {REPEATS}):\n"
+        f"  step(): {per_tick * 1e3:7.3f} ms/tick "
+        f"(budget {MAX_STEP_SECONDS * 1e3:.1f} ms)"
+    )
+    archive("bench_controller_step", report)
+    bench_record(
+        "controller_step_tick",
+        per_tick,
+        n_paths=N_PATHS,
+        ms_per_tick=per_tick * 1e3,
+    )
+    assert per_tick <= MAX_STEP_SECONDS, report
+
+
+# ------------------------------------------------- per-datagram overhead
+def _session_datagrams(seed: int, config: BadabingConfig, n_packets: int):
+    spec = spec_for(config, seed)
+    session_id = make_session_id(seed)
+    hello = wire.encode_hello(session_id, spec, 0)
+    probes = [
+        wire.encode_probe(session_id, i, i // 3, i % 3, 3, i * 1_000)
+        for i in range(n_packets)
+    ]
+    return hello, probes
+
+
+def _timed_flood(hello, probes, controller=None) -> float:
+    """Per-datagram time for the reflector flood, ± interleaved step()s."""
+    # One tenant absorbs the whole flood in compressed fake time: give
+    # its token bucket enough headroom that rate policing (benchmarked
+    # separately in test_bench_fleet) never clips either mode.
+    policy = FleetPolicy(rate_cap_pps=1e12)
+    protocol = FleetReflectorProtocol(policy=policy, clock=_SteppingClock())
+    protocol.connection_made(_NullTransport())
+    addr = ("127.0.0.1", 40000)
+    protocol.datagram_received(hello, addr)
+    received = protocol.datagram_received
+    started = time.perf_counter()
+    if controller is None:
+        for datagram in probes:
+            received(datagram, addr)
+    else:
+        for index, datagram in enumerate(probes):
+            received(datagram, addr)
+            if index % STEP_EVERY == 0:
+                for directive in controller.step():
+                    controller.on_session_complete(
+                        directive.path,
+                        directive.round_index,
+                        0.1,
+                        _report(directive.n_slots, lossy=True),
+                    )
+    elapsed = time.perf_counter() - started
+    assert protocol.probes_received_total == FLOOD_PACKETS
+    return elapsed
+
+
+def test_controller_on_datagram_overhead_within_budget(archive, bench_record):
+    hello, probes = _session_datagrams(1, _config(), FLOOD_PACKETS)
+    _timed_flood(hello, probes)  # warm-up
+    on_s = off_s = float("inf")
+    for _ in range(REPEATS):
+        off_s = min(off_s, _timed_flood(hello, probes))
+        on_s = min(on_s, _timed_flood(hello, probes, _make_controller(N_PATHS)))
+    ratio = on_s / off_s
+    report = (
+        f"controller-on vs controller-off reflector flood "
+        f"({FLOOD_PACKETS} datagrams, one step() per {STEP_EVERY}, "
+        f"min of {REPEATS}):\n"
+        f"  controller off: {off_s * 1e9 / FLOOD_PACKETS:8.1f} ns/datagram\n"
+        f"  controller on:  {on_s * 1e9 / FLOOD_PACKETS:8.1f} ns/datagram\n"
+        f"  ratio: {ratio:.3f}x (budget {MAX_DATAGRAM_RATIO:.2f}x)"
+    )
+    archive("bench_controller_overhead", report)
+    bench_record(
+        "controller_on_per_datagram",
+        on_s,
+        off_seconds=off_s,
+        overhead_ratio=ratio,
+        ns_per_datagram=on_s * 1e9 / FLOOD_PACKETS,
+    )
+    assert ratio <= MAX_DATAGRAM_RATIO, report

@@ -13,11 +13,17 @@ Subcommands:
   remote reflector, ``reflect`` to serve one, ``loopback`` for both ends
   in one process, ``fleet`` for a many-session loopback soak against one
   multi-tenant reflector);
+* ``fleet run`` — drive the adaptive fleet controller: a roster of
+  paths (``--paths``/``--roster``), one global probe budget, and a
+  convergence-driven rebalancing loop recorded as a controller-event
+  NDJSON artifact;
 * ``dash`` — live terminal dashboard over a running exporter's HTTP
   endpoint (``--url``) or an offline replay of a recorded snapshot
   stream (``--replay``);
 * ``obs`` — summarize or validate exported metrics/trace/audit/export
-  files (``summary --by-label`` splits merged fleet/sweep shards);
+  files (``summary --by-label`` splits merged fleet/sweep shards,
+  ``--by-path`` folds a controller run's shards per path,
+  ``validate --controller`` checks a controller event log);
 * ``list`` — show available scenarios, tables, and figures.
 
 Long-running commands (``sweep``, ``live reflect``, ``live fleet``)
@@ -107,17 +113,20 @@ def _export_requested(args: argparse.Namespace) -> bool:
     )
 
 
-def _build_exporter(args: argparse.Namespace, registry, tracer=None, meta=None):
+def _build_exporter(
+    args: argparse.Namespace, registry, tracer=None, meta=None, default_rules=None
+):
     """TelemetryExporter from the --export-* flags, or None when unused."""
     if registry is None or not _export_requested(args):
         return None
     from repro.obs import TelemetryExporter, default_fleet_rules, load_alert_rules
 
-    rules = (
-        load_alert_rules(args.alert_rules)
-        if args.alert_rules
-        else default_fleet_rules()
-    )
+    if args.alert_rules:
+        rules = load_alert_rules(args.alert_rules)
+    elif default_rules is not None:
+        rules = default_rules
+    else:
+        rules = default_fleet_rules()
     return TelemetryExporter(
         registry,
         interval=args.export_interval,
@@ -520,10 +529,10 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
         return 0
     if args.json:
         print(json.dumps(summary_document(document, trace_lines), indent=2))
-    elif args.by_label:
+    elif args.by_label or args.by_path:
         from repro.obs import render_grouped_summary
 
-        print(render_grouped_summary(document, trace_lines))
+        print(render_grouped_summary(document, trace_lines, by_path=args.by_path))
     else:
         print(render_summary(document, trace_lines))
     return 0
@@ -548,10 +557,17 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
 
     import json
 
-    if not (args.metrics or args.trace or args.audit or args.export or args.bench):
+    if not (
+        args.metrics
+        or args.trace
+        or args.audit
+        or args.export
+        or args.bench
+        or args.controller
+    ):
         print(
             "error: nothing to validate — give a metrics file and/or "
-            "--trace/--audit/--export/--bench",
+            "--trace/--audit/--export/--bench/--controller",
             file=sys.stderr,
         )
         return 2
@@ -614,6 +630,13 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
         for problem in bench_problems:
             print(f"{args.bench}: {problem}", file=sys.stderr)
         failures += len(bench_problems)
+    if args.controller:
+        from repro.live.controller import validate_controller_file
+
+        controller_problems = validate_controller_file(args.controller)
+        for problem in controller_problems:
+            print(f"{args.controller}: {problem}", file=sys.stderr)
+        failures += len(controller_problems)
     if failures:
         print(f"validation FAILED: {failures} problem(s)", file=sys.stderr)
         return 1
@@ -967,6 +990,179 @@ def _cmd_live_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_template_config(args: argparse.Namespace, overrides=None):
+    """Per-path BadabingConfig: CLI template + roster-entry overrides.
+
+    ``n_slots`` is a placeholder — the controller sizes every launched
+    session itself (``dataclasses.replace(config, n_slots=...)``).
+    """
+    from repro.config import BadabingConfig, MarkingConfig, ProbeConfig
+
+    entry = overrides or {}
+    return BadabingConfig(
+        probe=ProbeConfig(
+            slot=float(entry.get("slot", args.slot)),
+            probe_size=int(entry.get("size", args.size)),
+            packets_per_probe=int(entry.get("packets", args.packets)),
+        ),
+        marking=MarkingConfig(
+            alpha=float(entry.get("alpha", args.alpha)),
+            tau=float(entry.get("tau", args.tau)),
+        ),
+        p=float(entry.get("p", args.p)),
+        n_slots=max(2, args.min_session_slots),
+        improved=bool(entry.get("improved", args.improved)),
+    )
+
+
+def _fleet_paths(args: argparse.Namespace):
+    """PathTarget roster from --roster JSON or --paths name[:faults] list."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.live import PathTarget
+
+    def resolve_faults(name):
+        if not name or name == "none":
+            return None
+        if name not in _FAULT_PROFILES:
+            raise ConfigurationError(
+                f"unknown fault profile {name!r} "
+                f"(choose from {', '.join(sorted(_FAULT_PROFILES))})"
+            )
+        return name
+
+    targets = []
+    if args.roster:
+        try:
+            with open(args.roster, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read roster {args.roster}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{args.roster}: invalid JSON ({exc.msg})"
+            )
+        entries = document.get("paths") if isinstance(document, dict) else None
+        if not isinstance(entries, list) or not entries:
+            raise ConfigurationError(
+                f'{args.roster}: expected {{"paths": [{{...}}, ...]}}'
+            )
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "name" not in entry:
+                raise ConfigurationError(
+                    f"{args.roster}: paths[{index}] needs at least a 'name'"
+                )
+            targets.append(
+                PathTarget(
+                    name=str(entry["name"]),
+                    config=_fleet_template_config(args, entry),
+                    host=str(entry.get("host", "127.0.0.1")),
+                    port=int(entry.get("port", 0)),
+                    faults=resolve_faults(entry.get("faults")),
+                )
+            )
+    elif args.paths:
+        for token in _parse_csv(args.paths, str, "path"):
+            name, _, faults = token.partition(":")
+            targets.append(
+                PathTarget(
+                    name=name.strip(),
+                    config=_fleet_template_config(args),
+                    faults=resolve_faults(faults.strip()),
+                )
+            )
+    else:
+        raise ConfigurationError("fleet run needs --paths or --roster")
+    return targets
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.experiments.fleetrun import fleet_run
+    from repro.live import ControllerPolicy
+    from repro.obs import controller_alert_rules, default_fleet_rules
+
+    targets = _fleet_paths(args)
+    policy = ControllerPolicy(
+        budget_slots=args.budget,
+        round_slots=args.round_slots,
+        min_session_slots=args.min_session_slots,
+    )
+    metrics = (
+        MetricsRegistry() if (args.metrics_out or _export_requested(args)) else None
+    )
+    exporter = _build_exporter(
+        args,
+        metrics,
+        meta={"tool": "badabing-fleet-controller", "paths": len(targets)},
+        default_rules=default_fleet_rules() + controller_alert_rules(),
+    )
+    print(
+        f"fleet controller: {len(targets)} path(s), budget {args.budget} slots, "
+        f"rebalance every {args.rebalance_interval}s (seed {args.seed})"
+    )
+    _announce_exporter(exporter, args)
+    try:
+        result = fleet_run(
+            targets,
+            policy=policy,
+            base_seed=args.seed,
+            registry=metrics,
+            exporter=exporter,
+            events_path=args.controller_out or None,
+            rebalance_interval=args.rebalance_interval,
+            max_wall_seconds=args.max_wall_seconds or None,
+            fleet_policy=_fleet_policy(args),
+        )
+    finally:
+        if exporter is not None:
+            exporter.close()
+    print(
+        f"{'path':<16} {'F_hat':>8} {'dF':>9} {'D_hat':>8} "
+        f"{'rounds':>6} {'slots':>6} {'busy':>4} conv"
+    )
+    for name, signals in result.path_summary.items():
+        f_hat = signals["f_hat"]
+        delta = signals["delta_f"]
+        d_hat = signals["d_hat_seconds"]
+        print(
+            f"{name:<16} "
+            + (f"{f_hat:>8.4f}" if f_hat is not None else f"{'—':>8}")
+            + " "
+            + (f"{delta:>+9.4f}" if delta is not None else f"{'—':>9}")
+            + " "
+            + (f"{d_hat:>7.3f}s" if d_hat is not None else f"{'—':>8}")
+            + f" {signals['rounds']:>6} {signals['spent_slots']:>6}"
+            + f" {signals['busy_deferrals']:>4} "
+            + ("yes" if signals["converged"] else "no")
+        )
+    completed = len(result.completion_order)
+    failed = result.failures
+    print(
+        f"sessions: {completed} completed, {len(failed)} failed; "
+        f"budget remaining: {result.remaining_slots} slots; "
+        f"wall: {result.wall_seconds:.1f}s"
+        + (" (deadline hit)" if result.deadline_hit else "")
+    )
+    if result.merged_digest:
+        print(f"merged registry digest: {result.merged_digest}")
+        print(f"serial replay digest:   {result.replay_digest}")
+        print(f"digest match: {'yes' if result.digest_match else 'NO'}")
+    for outcome in failed:
+        print(f"  {outcome.describe()}", file=sys.stderr)
+    if args.controller_out:
+        print(f"controller events written to {args.controller_out}")
+    if args.metrics_out and metrics is not None:
+        write_metrics_document(args.metrics_out, metrics, None)
+        print(f"metrics written to {args.metrics_out}")
+    if args.export_out:
+        print(f"export snapshots written to {args.export_out}")
+    if failed or (result.merged_digest and not result.digest_match):
+        print("fleet run FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("scenarios:", ", ".join(sorted(SCENARIOS)))
     print("tables:   ", ", ".join(sorted(_tables.ALL_TABLES)))
@@ -1186,6 +1382,83 @@ def build_parser() -> argparse.ArgumentParser:
     _add_export_arguments(live_fleet)
     live_fleet.set_defaults(handler=_cmd_live_fleet)
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="multi-path probe orchestration (adaptive fleet controller)",
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_commands.add_parser(
+        "run",
+        help="spend one probe budget across a roster of paths, rebalancing "
+        "toward unconverged ones",
+    )
+    fleet_run.add_argument(
+        "--paths",
+        default="",
+        help="comma-separated roster: name or name:fault-profile "
+        "(loopback reflectors are spun per path, e.g. "
+        "'clean-a,clean-b,lossy:bursty')",
+    )
+    fleet_run.add_argument(
+        "--roster",
+        default="",
+        help="JSON roster file {'paths': [{name, faults, host, port, "
+        "p, slot, packets, size, alpha, tau, improved}, ...]} "
+        "(overrides --paths)",
+    )
+    fleet_run.add_argument(
+        "--budget", type=int, default=6000, help="global probe budget in slots"
+    )
+    fleet_run.add_argument(
+        "--round-slots",
+        type=int,
+        default=200,
+        help="nominal per-path slots per rebalance round",
+    )
+    fleet_run.add_argument(
+        "--min-session-slots",
+        type=int,
+        default=40,
+        help="floor on a launched session's slot count",
+    )
+    fleet_run.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=0.25,
+        help="seconds between controller decision passes",
+    )
+    fleet_run.add_argument(
+        "--max-wall-seconds",
+        type=float,
+        default=0.0,
+        help="stop launching and drain after this much wall time (0 = none)",
+    )
+    fleet_run.add_argument(
+        "--controller-out",
+        default="",
+        help="write controller events (repro.live.controller/1 NDJSON) here",
+    )
+    fleet_run.add_argument("--p", type=float, default=0.3, help="per-slot probe probability")
+    fleet_run.add_argument("--slot", type=float, default=0.005, help="slot width in seconds")
+    fleet_run.add_argument("--packets", type=int, default=3, help="packets per probe train")
+    fleet_run.add_argument("--size", type=int, default=600, help="probe size in bytes")
+    fleet_run.add_argument("--alpha", type=float, default=0.1, help="§6.1 delay fraction")
+    fleet_run.add_argument(
+        "--tau", type=float, default=0.080, help="§6.1 loss proximity window (s)"
+    )
+    fleet_run.add_argument(
+        "--improved", action="store_true", help="use the §5.3 improved algorithm"
+    )
+    fleet_run.add_argument("--seed", type=int, default=1)
+    fleet_run.add_argument(
+        "--metrics-out",
+        default="",
+        help="write the merged export-facing registry as JSON to this path",
+    )
+    _add_fleet_policy_arguments(fleet_run)
+    _add_export_arguments(fleet_run)
+    fleet_run.set_defaults(handler=_cmd_fleet_run)
+
     obs = commands.add_parser(
         "obs", help="inspect exported observability artifacts"
     )
@@ -1205,6 +1478,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="group merged fleet/sweep shards by session/cell label "
         "instead of one flat table",
+    )
+    obs_summary.add_argument(
+        "--by-path",
+        action="store_true",
+        help="group shards by their path/ label prefix (controller runs)",
     )
     obs_summary.add_argument(
         "--slow",
@@ -1243,6 +1521,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench",
         default="",
         help="optional BENCH_*.json document written by `repro bench`",
+    )
+    obs_validate.add_argument(
+        "--controller",
+        default="",
+        help="optional controller-event NDJSON written by "
+        "`repro fleet run --controller-out`",
     )
     obs_validate.set_defaults(handler=_cmd_obs_validate)
     obs_profile = obs_commands.add_parser(

@@ -18,7 +18,12 @@ network using asyncio UDP endpoints and the monotonic wall clock:
   for loopback testing,
 * :mod:`repro.live.runtime` — orchestration, streaming validation, and
   the synchronous ``live_send`` / ``live_reflect`` / ``live_loopback``
-  entry points behind the CLI.
+  entry points behind the CLI,
+* :mod:`repro.live.controller` — the adaptive fleet controller: a
+  deterministic, fake-clock-drivable rebalancing loop that spends one
+  global probe budget across a roster of paths, weighted toward the
+  ones whose §5.4 validator signals have not converged (asyncio driver
+  in :mod:`repro.experiments.fleetrun`).
 
 Estimation never forks: live records funnel into the same
 :func:`repro.core.badabing.assemble_result` path as simulator runs, so a
@@ -26,6 +31,17 @@ live result is a plain :class:`~repro.core.badabing.BadabingResult` that
 ``analyze``, ``obs audit``, and the report tooling consume unchanged.
 """
 
+from repro.live.controller import (
+    CONTROLLER_SCHEMA,
+    ControllerPolicy,
+    FleetController,
+    LaunchDirective,
+    PathTarget,
+    read_controller_events,
+    shard_label,
+    validate_controller_file,
+    validate_controller_record,
+)
 from repro.live.fleet import (
     FleetLoopbackResult,
     FleetPolicy,
@@ -61,6 +77,15 @@ from repro.live.session import (
 from repro.live.wire import ProbeHeader, SessionSpec
 
 __all__ = [
+    "CONTROLLER_SCHEMA",
+    "ControllerPolicy",
+    "FleetController",
+    "LaunchDirective",
+    "PathTarget",
+    "read_controller_events",
+    "shard_label",
+    "validate_controller_file",
+    "validate_controller_record",
     "FleetLoopbackResult",
     "FleetPolicy",
     "FleetReflectorProtocol",

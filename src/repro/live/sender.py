@@ -269,11 +269,18 @@ class LiveSender:
                 await asyncio.sleep(delay)
         if rejected:
             reason = wire.BUSY_REASONS.get(self.protocol.busy_reason, "busy")
-            raise LiveSessionError(
+            exc = LiveSessionError(
                 f"reflector rejected HELLO ({reason} cap) after "
                 f"{self.stats.hello_attempts} attempts; last RETRY_AFTER "
                 f"{self.protocol.retry_after:.3f}s"
             )
+            # Structured backpressure for orchestrators (fleet controller):
+            # carry the admission verdict so callers can honor RETRY_AFTER
+            # without parsing the message.
+            exc.busy = True
+            exc.retry_after = self.protocol.retry_after
+            exc.busy_reason = reason
+            raise exc
         raise LiveSessionError(
             f"reflector did not acknowledge HELLO after "
             f"{self.stats.hello_attempts} attempts"

@@ -198,6 +198,11 @@ FAULT_PROFILES: Dict[str, FaultProfile] = {
     ),
     "duplicate": FaultProfile(duplicate_probability=0.05),
     "bursty": FaultProfile(gilbert_b=0.002, gilbert_g=0.05, gilbert_drop=0.5),
+    # Aggressive Gilbert chain (~17% of slots bad, 80% drop when bad):
+    # guarantees visible loss episodes even in sub-second sessions, so a
+    # controller demo's lossy path stays unconverged while clean paths
+    # finish — the budget-shift recipe in EXPERIMENTS.md relies on it.
+    "heavy-loss": FaultProfile(gilbert_b=0.02, gilbert_g=0.1, gilbert_drop=0.8),
     "flaky-link": FaultProfile(flap_down=0.5, flap_up=15.0, flap_start=5.0),
     "outage": FaultProfile(outage_windows=((20.0, 25.0),)),
     "chaos": FaultProfile(

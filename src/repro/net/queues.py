@@ -123,7 +123,10 @@ class DropTailQueue:
         registry.counter("queue.dropped_packets", **labels).value = stats.dropped_packets
         registry.counter("queue.dropped_bytes", **labels).value = stats.dropped_bytes
         gauge = registry.gauge("queue.bytes", **labels)
-        gauge.set(self._bytes)
+        # Always publish floats: an int peak captured by a mid-run scrape
+        # JSON-renders as "600" where the end-only path writes "600.0",
+        # breaking digest equality even though the values compare equal.
+        gauge.set(float(self._bytes))
         gauge.peak = max(gauge.peak, float(stats.peak_bytes))
 
     # ------------------------------------------------------------------ state

@@ -27,6 +27,7 @@ from repro.obs.alerts import (
     AlertEvent,
     AlertRule,
     AlertRules,
+    controller_alert_rules,
     default_fleet_rules,
     load_alert_rules,
     write_alert_rules,
@@ -124,6 +125,7 @@ from repro.obs.schema import (
     validate_trace_lines,
 )
 from repro.obs.summary import (
+    group_label_path,
     render_audit,
     render_grouped_summary,
     render_scorecard,
@@ -131,6 +133,7 @@ from repro.obs.summary import (
     render_summary,
     slowest_spans,
     split_snapshot_by_label,
+    split_snapshot_by_path,
     summary_document,
 )
 from repro.obs.tracing import TRACE_SCHEMA, Tracer, trace_span
@@ -187,7 +190,9 @@ __all__ = [
     "AlertRule",
     "AlertRules",
     "AlertEvent",
+    "controller_alert_rules",
     "default_fleet_rules",
+    "group_label_path",
     "load_alert_rules",
     "write_alert_rules",
     "render_exposition",
@@ -204,6 +209,7 @@ __all__ = [
     "document_from_export_record",
     "render_grouped_summary",
     "split_snapshot_by_label",
+    "split_snapshot_by_path",
     "ensure_parent_dir",
     "open_artifact",
     # profiling + perf trajectory (DESIGN.md §14)

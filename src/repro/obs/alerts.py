@@ -386,6 +386,50 @@ def default_fleet_rules(
     ]
 
 
+def controller_alert_rules(
+    stall_deadline: float = 30.0,
+    busy_ratio: float = 0.5,
+) -> List[AlertRule]:
+    """Alert rules for an adaptive fleet-controller run.
+
+    * ``controller-busy-storm`` — more than ``busy_ratio`` of launches
+      bounced on BUSY backpressure (the roster's reflectors are
+      saturated and the budget is mostly idling in backoff);
+    * ``controller-stalled`` — no session completed for
+      ``stall_deadline`` seconds (paths neither converging nor failing);
+    * ``controller-failures`` — any session failed outright (non-BUSY).
+    """
+    return [
+        AlertRule(
+            name="controller-busy-storm",
+            metric="controller.busy_deferred",
+            kind="ratio",
+            denominator="controller.launches",
+            op=">",
+            threshold=busy_ratio,
+            severity="warning",
+            description="most controller launches are bouncing on BUSY",
+        ),
+        AlertRule(
+            name="controller-stalled",
+            metric="controller.completions",
+            kind="stale",
+            threshold=stall_deadline,
+            severity="warning",
+            description="controller stopped completing sessions",
+        ),
+        AlertRule(
+            name="controller-failures",
+            metric="controller.failures",
+            kind="value",
+            op=">",
+            threshold=0.0,
+            severity="critical",
+            description="a controller-launched session failed outright",
+        ),
+    ]
+
+
 def validate_rules_document(document: Any) -> List[str]:
     """Structural validation for a serialized rules file (list of problems)."""
     if not isinstance(document, dict):

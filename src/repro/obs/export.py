@@ -482,7 +482,7 @@ def render_exposition(registry: MetricsRegistry, own: Optional[MetricsRegistry] 
                 hist.name, "histogram", hist.labels, sum(counts),
                 suffix="_bucket", extra=(("le", "+Inf"),),
             )
-            emit(hist.name, "histogram", hist.labels, hist.sum, suffix="_sum")
+            emit(hist.name, "histogram", hist.labels, hist.total_sum, suffix="_sum")
             emit(hist.name, "histogram", hist.labels, sum(counts), suffix="_count")
         for series in sorted(reg._series.values(), key=_sort_key):
             times, values = series.points()

@@ -21,6 +21,7 @@ calls return the same object, so components can resolve freely.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -100,9 +101,19 @@ class Gauge:
 
 class Histogram:
     """Fixed-bucket histogram: ``counts[i]`` holds observations with
-    ``value <= buckets[i]``; the final slot is the +Inf overflow bucket."""
+    ``value <= buckets[i]``; the final slot is the +Inf overflow bucket.
 
-    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum")
+    Sums absorbed through :meth:`MetricsRegistry.merge` are kept as a
+    flat list of per-shard contributions and reduced with
+    :func:`math.fsum` (exactly rounded, hence independent of addend
+    order) when read — so merging the same shards in any order yields a
+    byte-identical snapshot, the invariant the fleet-controller and
+    parallel-sweep digest checks rely on. Plain ``a += b`` float
+    accumulation would make the merged ``sum`` depend on completion
+    order.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum", "_merged_sums")
 
     def __init__(
         self,
@@ -120,6 +131,7 @@ class Histogram:
         self.counts = [0] * (len(buckets) + 1)
         self.count = 0
         self.sum = 0.0
+        self._merged_sums: List[float] = []
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.buckets, value)] += 1
@@ -146,10 +158,22 @@ class Histogram:
         self.counts = [int(n) for n in counts]
         self.count = sum(self.counts)
         self.sum = float(total)
+        self._merged_sums = []
+
+    def sum_terms(self) -> List[float]:
+        """Every sum contribution this histogram holds (local + merged)."""
+        return [self.sum] + self._merged_sums
+
+    @property
+    def total_sum(self) -> float:
+        """Order-independent total of local and merged-in observation sums."""
+        if not self._merged_sums:
+            return self.sum
+        return math.fsum(self.sum_terms())
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        return self.total_sum / self.count if self.count else 0.0
 
 
 class Series:
@@ -315,7 +339,7 @@ class MetricsRegistry:
                     "buckets": list(h.buckets),
                     "counts": counts,
                     "count": sum(counts),
-                    "sum": h.sum,
+                    "sum": h.total_sum,
                 }
                 for h, counts in (
                     (h, list(h.counts))
@@ -397,7 +421,9 @@ class MetricsRegistry:
             for i, n in enumerate(src.counts):
                 dst.counts[i] += n
             dst.count += src.count
-            dst.sum += src.sum
+            # Keep contributions flat so re-merging merged registries
+            # still reduces one multiset of shard sums with fsum.
+            dst._merged_sums.extend(src.sum_terms())
         for (name, labels), src in other._series.items():
             merged_labels = dict(labels)
             if series_labels:

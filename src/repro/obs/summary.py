@@ -276,19 +276,57 @@ def split_snapshot_by_label(
     return shared, groups
 
 
+def group_label_path(label: str) -> str:
+    """The path component of a standardized ``path/session[n]`` label.
+
+    Controller runs label every shard ``<path>/session[<round>]``; plain
+    fleet soaks use bare ``session[<i>]`` labels, which group as
+    themselves (no path prefix, nothing to fold).
+    """
+    return label.split("/", 1)[0]
+
+
+def split_snapshot_by_path(
+    snapshot: Dict[str, Any],
+    group_keys: Iterable[str] = ("session", "cell"),
+) -> "tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]":
+    """Like :func:`split_snapshot_by_label`, folded to one group per path.
+
+    Shards sharing a ``path/`` label prefix merge into a single
+    sub-snapshot (their rendered keys stay distinct — the full label is
+    part of the key — so folding is a plain dict union).
+    """
+    shared, groups = split_snapshot_by_label(snapshot, group_keys)
+    folded: Dict[str, Dict[str, Any]] = {}
+    for label in sorted(groups):
+        target = folded.setdefault(
+            group_label_path(label),
+            {"counters": {}, "gauges": {}, "histograms": {}, "series": {}},
+        )
+        for section, entries in groups[label].items():
+            target[section].update(entries)
+    return shared, folded
+
+
 def render_grouped_summary(
     document: Dict[str, Any],
     trace_lines: Optional[Iterable[str]] = None,
     group_keys: Iterable[str] = ("session", "cell"),
     top: int = 10,
+    by_path: bool = False,
 ) -> str:
-    """``obs summary --by-label``: one section per merged shard.
+    """``obs summary --by-label`` / ``--by-path``: one section per shard.
 
-    Falls back to the flat report (with a note) when the snapshot has no
+    ``by_path`` folds shards sharing a ``path/`` label prefix into one
+    section per path (a controller run reads as its roster). Falls back
+    to the flat report (with a note) when the snapshot has no
     shard-labeled instruments to group.
     """
     snapshot = document.get("metrics", {})
-    shared, groups = split_snapshot_by_label(snapshot, group_keys)
+    if by_path:
+        shared, groups = split_snapshot_by_path(snapshot, group_keys)
+    else:
+        shared, groups = split_snapshot_by_label(snapshot, group_keys)
     if not groups:
         return (
             "(no shard labels found — showing the flat summary)\n"
@@ -298,7 +336,8 @@ def render_grouped_summary(
     manifest = document.get("manifest")
     if manifest:
         out.extend(render_manifest(manifest))
-    out.append(f"shards: {len(groups)} (grouped by {'/'.join(group_keys)})")
+    grouping = "path" if by_path else "/".join(group_keys)
+    out.append(f"shards: {len(groups)} (grouped by {grouping})")
     for group in sorted(groups):
         out.append("")
         out.append(f"── {group} " + "─" * max(0, 40 - len(group)))
