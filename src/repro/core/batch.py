@@ -1,0 +1,772 @@
+"""Array-batched slot pipeline (vectorized twin of the scalar hot path).
+
+The paper's §7 accuracy guidance — StdDev(D̂) ≈ 1/√(p·N·L) — makes large N
+the lever for production-grade estimates, but the scalar pipeline walks one
+Python object per slot: `GeometricSchedule` draws per-slot coins in a loop,
+`CongestionMarker._mark` runs two per-probe passes over `ProbeRecord`
+objects, y_i assembly builds a tuple per experiment, and the §5 fold
+touches a `Counter` once per outcome. This module re-expresses each stage
+over contiguous NumPy arrays:
+
+* **schedule** — the per-slot start/length coin draws become one mirrored
+  RNG sweep (`draw_schedule_arrays`): Python's ``random.Random`` and
+  NumPy's legacy ``RandomState`` share the MT19937 generator *and* the
+  53-bit double construction, so a state transplant yields bit-identical
+  uniform streams, and the data-dependent draw interleaving (a length coin
+  is drawn only after a start coin hits) is resolved with a vectorized
+  parity-since-last-reset classification instead of a per-slot loop;
+* **probe records** — structure-of-arrays (:class:`ProbeArrays`: slot,
+  send_time, lost_packets, max_owd, last_owd, owd_before_loss) replaces
+  per-object dispatch;
+* **marking** — `mark_probe_arrays` reduces §6.1 to array threshold /
+  ``searchsorted`` passes; only the loss events themselves (a small, data-
+  sparse subset) are walked scalar, because the OWD_max history is a
+  bounded deque whose aggregate must match the scalar `_aggregate`
+  bit-for-bit;
+* **estimator fold** — experiment outcomes become packed bit-codes and the
+  whole §5/§5.4 pattern count is one ``np.bincount``, reconstructed into
+  the exact `Counter` the scalar `count_patterns` produces.
+
+Equivalence contract: for identical inputs the batch pipeline produces the
+*same bits* as the scalar one — same experiments for the same seed, same
+slot states, same pattern counter, same estimates — so scorecard and
+metrics-snapshot digests are byte-identical between modes. The scalar path
+stays as the reference implementation; `tests/test_batch.py` pins the two
+together with hypothesis property tests.
+
+NumPy is a declared dependency, but every entry point degrades loudly (not
+silently) without it: callers gate on :data:`NUMPY_AVAILABLE` or catch the
+:class:`~repro.errors.ConfigurationError` that :func:`require_numpy`
+raises, and fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro import profiling as _profiling
+from repro.config import BadabingConfig, MarkingConfig
+from repro.core.estimators import (
+    _R_PATTERNS,
+    _S_PATTERNS,
+    _U_PATTERNS,
+    _V_PATTERNS,
+)
+from repro.core.records import CoverageReport, ExperimentOutcome, ProbeRecord
+from repro.errors import ConfigurationError
+
+try:  # gate, don't crash: the scalar pipeline works without numpy
+    import numpy as np
+
+    NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None  # type: ignore[assignment]
+    NUMPY_AVAILABLE = False
+
+
+def require_numpy(feature: str = "the vectorized pipeline") -> None:
+    """Raise a structured error when numpy is missing."""
+    if not NUMPY_AVAILABLE:  # pragma: no cover - exercised only when stripped
+        raise ConfigurationError(
+            f"{feature} requires numpy; install it or use the scalar path "
+            "(vectorized=False)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Mirrored RNG: bit-identical uniform streams, drawn in blocks
+# ---------------------------------------------------------------------------
+
+def mirror_rng(rng: random.Random) -> "np.random.RandomState":
+    """A ``RandomState`` that will emit exactly ``rng``'s future doubles.
+
+    CPython's ``random.random`` and NumPy's legacy ``random_sample`` both
+    run MT19937 and build doubles as ``(a >> 5) * 2**26 + (b >> 6)`` over
+    ``2**53``, so transplanting the 624-word state + position yields the
+    *same* stream bit-for-bit. The mirror is a copy: drawing from it does
+    not advance ``rng`` (see :func:`advance_rng`).
+    """
+    require_numpy("RNG mirroring")
+    version, internal, _gauss = rng.getstate()
+    if version != 3:  # pragma: no cover - only historical pickles differ
+        raise ConfigurationError(
+            f"cannot mirror random.Random state version {version}"
+        )
+    state = np.random.RandomState()
+    state.set_state(("MT19937", np.asarray(internal[:-1], dtype=np.uint32),
+                     int(internal[-1])))
+    return state
+
+
+def advance_rng(rng: random.Random, n_draws: int) -> None:
+    """Advance ``rng`` past ``n_draws`` doubles without a Python loop.
+
+    After a mirrored block draw the original stream must end up exactly
+    where the scalar loop would have left it, so later consumers of the
+    same ``random.Random`` see an unchanged world.
+    """
+    if n_draws <= 0:
+        return
+    mirror = mirror_rng(rng)
+    mirror.random_sample(n_draws)
+    _kind, key, pos, _has_gauss, _gauss = mirror.get_state()
+    rng.setstate((3, tuple(int(word) for word in key) + (int(pos),), None))
+
+
+def random_block(rng: random.Random, count: int) -> "np.ndarray":
+    """Draw ``count`` doubles from ``rng``'s stream as one array.
+
+    Equivalent to ``[rng.random() for _ in range(count)]`` — including the
+    state ``rng`` is left in — but in one vectorized sweep.
+    """
+    require_numpy("block RNG draws")
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    mirror = mirror_rng(rng)
+    block = mirror.random_sample(count)
+    _kind, key, pos, _has_gauss, _gauss = mirror.get_state()
+    rng.setstate((3, tuple(int(word) for word in key) + (int(pos),), None))
+    return block
+
+
+# ---------------------------------------------------------------------------
+# Schedule generation: one RNG sweep instead of a per-slot loop
+# ---------------------------------------------------------------------------
+
+def _classify_start_coins(b: "np.ndarray") -> "np.ndarray":
+    """Which draws of a schedule stream are start coins (vs length coins).
+
+    The scalar generator is a two-state machine over the draw stream: in
+    state S (expecting a start coin) a draw under ``p`` moves to state L
+    (the next draw is the length coin); state L always returns to S. The
+    recurrence ``S_i = not (S_{i-1} and b_{i-1})`` resets to S after any
+    ``b = 0`` draw and alternates within a run of ``b = 1`` draws, so the
+    state is the parity of the distance to the last reset — which
+    vectorizes as a running maximum over reset indices.
+    """
+    n = b.shape[0]
+    indices = np.arange(n, dtype=np.int64)
+    reset = np.empty(n, dtype=bool)
+    reset[0] = True
+    np.logical_not(b[:-1], out=reset[1:])
+    last_reset = np.maximum.accumulate(np.where(reset, indices, -1))
+    return ((indices - last_reset) & 1) == 0
+
+
+def draw_schedule_arrays(
+    p: float,
+    n_slots: int,
+    rng: random.Random,
+    improved: bool = False,
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized twin of the :class:`GeometricSchedule` draw loop.
+
+    Returns ``(starts, lengths)`` — int64 arrays of experiment start slots
+    and spans — consuming exactly the draws the scalar loop would (one
+    start coin per slot, one length coin per start when ``improved``) and
+    leaving ``rng`` in the identical state. Overflowing extended draws are
+    degraded to basic experiments when those fit, and starts in the last
+    slot (where nothing fits) are dropped — the same tail rule the scalar
+    generator applies.
+    """
+    require_numpy("vectorized schedule generation")
+    if not 0 < p <= 1:
+        raise ConfigurationError(f"p must be in (0, 1], got {p}")
+    if n_slots < 2:
+        raise ConfigurationError(f"n_slots must be >= 2, got {n_slots}")
+    with _profiling.profile_stage("schedule.generate"):
+        mirror = mirror_rng(rng)
+        if not improved:
+            draws = mirror.random_sample(n_slots)
+            starts = np.flatnonzero(draws < p).astype(np.int64)
+            consumed = n_slots
+            start_coins = None
+            is_start = None
+        else:
+            # The draw stream interleaves start and length coins, so its
+            # length is data-dependent; grow the buffer until it contains
+            # n_slots start coins, then classify in one vectorized pass.
+            chunks: List[np.ndarray] = []
+            target = int(n_slots * (1.0 + p) * 1.05) + 64
+            while True:
+                need = target - sum(chunk.shape[0] for chunk in chunks)
+                if need > 0:
+                    chunks.append(mirror.random_sample(need))
+                draws = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                chunks = [draws]
+                start_coins = _classify_start_coins(draws < p)
+                n_start_coins = int(np.count_nonzero(start_coins))
+                if n_start_coins >= n_slots:
+                    break
+                shortfall = n_slots - n_start_coins
+                target = draws.shape[0] + int(shortfall * (1.0 + p)) + 64
+            start_positions = np.flatnonzero(start_coins)[:n_slots]
+            last = int(start_positions[-1])
+            # The final slot's start coin may itself trigger a length coin,
+            # which can sit one past the classified buffer.
+            consumed = last + 1 + int(draws[last] < p)
+            if consumed > draws.shape[0]:
+                draws = np.concatenate(
+                    [draws, mirror.random_sample(consumed - draws.shape[0])]
+                )
+            is_start = draws[start_positions] < p
+            starts = np.flatnonzero(is_start).astype(np.int64)
+        if improved:
+            coin_positions = start_positions[is_start]
+            lengths = np.where(
+                draws[coin_positions + 1] < 0.5, 3, 2
+            ).astype(np.int64)
+        else:
+            lengths = np.full(starts.shape[0], 2, dtype=np.int64)
+        # Tail rule (shared with the scalar generator): degrade overflowing
+        # extended draws to basic experiments when those fit; drop starts
+        # whose slot cannot hold even a basic experiment.
+        overflow = starts + lengths > n_slots
+        lengths[overflow & (starts + 2 <= n_slots)] = 2
+        keep = starts + 2 <= n_slots
+        starts = starts[keep]
+        lengths = lengths[keep]
+        advance_rng(rng, consumed)
+    return starts, lengths
+
+
+def probe_slots_from_experiments(
+    starts: "np.ndarray", lengths: "np.ndarray", n_slots: int
+) -> "np.ndarray":
+    """Sorted unique covered slots, via a difference array (no per-slot set).
+
+    ``n_slots`` bounds the coverage map; experiments are assumed to fit
+    (the generators guarantee it).
+    """
+    require_numpy("vectorized schedule coverage")
+    span = np.zeros(n_slots + 1, dtype=np.int64)
+    np.add.at(span, starts, 1)
+    np.add.at(span, starts + lengths, -1)
+    covered = np.cumsum(span[:-1]) > 0
+    return np.flatnonzero(covered).astype(np.int64)
+
+
+def experiment_arrays(
+    experiments: Sequence["Experiment"],
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """(starts, lengths) int64 arrays from a scalar experiment plan.
+
+    Bridges schedules generated by the scalar loop (or loaded from a
+    trace) into the batch pipeline; schedules generated vectorized carry
+    their arrays natively (``GeometricSchedule.start_array``).
+    """
+    require_numpy("vectorized experiment plans")
+    starts = np.fromiter(
+        (experiment.start_slot for experiment in experiments),
+        dtype=np.int64,
+        count=len(experiments),
+    )
+    lengths = np.fromiter(
+        (experiment.length for experiment in experiments),
+        dtype=np.int64,
+        count=len(experiments),
+    )
+    return starts, lengths
+
+
+# ---------------------------------------------------------------------------
+# Probe records as structure-of-arrays
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProbeArrays:
+    """Structure-of-arrays form of a chronological probe stream.
+
+    One entry per probe, sorted by ``send_time`` (the marker's invariant).
+    Missing optional values (``max_owd`` for all-lost probes, ``last_owd``
+    for probes with no delivery, ``owd_before_loss`` when unattributable)
+    are ``nan`` — the batch marker treats ``nan`` exactly as the scalar
+    marker treats ``None``.
+    """
+
+    slot: "np.ndarray"  # int64
+    send_time: "np.ndarray"  # float64
+    n_packets: "np.ndarray"  # int64
+    lost_packets: "np.ndarray"  # int64
+    max_owd: "np.ndarray"  # float64, nan = no delivery
+    last_owd: "np.ndarray"  # float64, nan = no delivery (owds[-1] otherwise)
+    owd_before_loss: "np.ndarray"  # float64, nan = None
+
+    def __len__(self) -> int:
+        return int(self.slot.shape[0])
+
+    @property
+    def lost(self) -> "np.ndarray":
+        return self.lost_packets > 0
+
+    @classmethod
+    def from_records(cls, probes: Sequence[ProbeRecord]) -> "ProbeArrays":
+        """Pack per-object records into contiguous arrays (one pass)."""
+        require_numpy("probe structure-of-arrays")
+        n = len(probes)
+        slot = np.empty(n, dtype=np.int64)
+        send_time = np.empty(n, dtype=np.float64)
+        n_packets = np.empty(n, dtype=np.int64)
+        lost_packets = np.empty(n, dtype=np.int64)
+        max_owd = np.full(n, np.nan, dtype=np.float64)
+        last_owd = np.full(n, np.nan, dtype=np.float64)
+        owd_before_loss = np.full(n, np.nan, dtype=np.float64)
+        for i, probe in enumerate(probes):
+            slot[i] = probe.slot
+            send_time[i] = probe.send_time
+            n_packets[i] = probe.n_packets
+            owds = probe.owds
+            lost_packets[i] = probe.n_packets - len(owds)
+            if owds:
+                max_owd[i] = max(owds)
+                last_owd[i] = owds[-1]
+            if probe.owd_before_loss is not None:
+                owd_before_loss[i] = probe.owd_before_loss
+        return cls(
+            slot=slot,
+            send_time=send_time,
+            n_packets=n_packets,
+            lost_packets=lost_packets,
+            max_owd=max_owd,
+            last_owd=last_owd,
+            owd_before_loss=owd_before_loss,
+        )
+
+    def to_records(self) -> List[ProbeRecord]:
+        """Rebuild per-object records (testing / interop only).
+
+        Only the marker-relevant shape survives the SoA round trip: a probe
+        with ``d`` deliveries comes back with ``d - 1`` copies of a filler
+        delay, then its true last delay — ``max_owd`` is preserved exactly
+        when it equals ``last_owd`` (always true for the single-delivery
+        and all-lost cases the synthetic substrate emits).
+        """
+        records: List[ProbeRecord] = []
+        for i in range(len(self)):
+            delivered = int(self.n_packets[i]) - int(self.lost_packets[i])
+            owds: Tuple[float, ...]
+            if delivered <= 0:
+                owds = ()
+            elif delivered == 1:
+                owds = (float(self.last_owd[i]),)
+            else:
+                head = float(self.max_owd[i])
+                owds = (head,) * (delivered - 1) + (float(self.last_owd[i]),)
+            obl = self.owd_before_loss[i]
+            records.append(
+                ProbeRecord(
+                    slot=int(self.slot[i]),
+                    send_time=float(self.send_time[i]),
+                    n_packets=int(self.n_packets[i]),
+                    owds=owds,
+                    owd_before_loss=None if np.isnan(obl) else float(obl),
+                )
+            )
+        return records
+
+
+# ---------------------------------------------------------------------------
+# §6.1 marking as array passes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchMarkingResult:
+    """Array-native marking output (twin of :class:`MarkingResult`).
+
+    ``slots``/``states`` carry the per-probe verdicts in probe order;
+    ``dense_states`` (int8, −1 = unprobed) is keyed by slot index for O(1)
+    y_i assembly. The diagnostic counts match the scalar marker exactly.
+    """
+
+    slots: "np.ndarray"  # int64, probe order
+    states: "np.ndarray"  # bool, probe order
+    dense_states: "np.ndarray"  # int8 over slot indices, -1 = unknown
+    marked_by_loss: int
+    marked_by_delay: int
+    noise_losses: int
+    owd_max_estimates: List[float]
+
+    @property
+    def marked(self) -> int:
+        return self.marked_by_loss + self.marked_by_delay
+
+    def slot_states_dict(self) -> Dict[int, bool]:
+        """Materialize the scalar-shaped mapping (interop boundary only)."""
+        return {
+            int(slot): bool(state)
+            for slot, state in zip(self.slots.tolist(), self.states.tolist())
+        }
+
+
+def _loss_pass(
+    arrays: ProbeArrays, cfg: MarkingConfig
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray", List[float]]:
+    """The only scalar sub-pass: walk the loss events in probe order.
+
+    The OWD_max history is a bounded deque whose aggregate must match the
+    scalar :func:`~repro.core.marking._aggregate` bit-for-bit, and noise
+    classification feeds back into that history — so the loss events
+    themselves (a sparse subset of probes) are folded scalar while every
+    per-probe quantity stays vectorized. Returns ``(noise_mask, loss_times,
+    change_positions, change_values, final_history)`` where the change
+    arrays describe the per-probe threshold step function.
+    """
+    from repro.core.marking import _aggregate
+
+    lossy = np.flatnonzero(arrays.lost)
+    noise_mask = np.zeros(len(arrays), dtype=bool)
+    loss_times: List[float] = []
+    change_positions: List[int] = []
+    change_values: List[float] = []
+    if lossy.shape[0] == 0:
+        return (
+            noise_mask,
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            [],
+        )
+
+    # last_success_owd as of each lossy probe: the newest delivery strictly
+    # before it, forward-filled without a per-probe loop.
+    has_delivery = ~np.isnan(arrays.last_owd)
+    indices = np.arange(len(arrays), dtype=np.int64)
+    last_delivery_at = np.maximum.accumulate(np.where(has_delivery, indices, -1))
+    prev_delivery = np.empty(len(arrays), dtype=np.int64)
+    prev_delivery[0] = -1
+    prev_delivery[1:] = last_delivery_at[:-1]
+
+    history: Deque[float] = deque(maxlen=cfg.owd_history)
+    one_minus_alpha = 1.0 - cfg.alpha
+    filter_noise = cfg.filter_uncorrelated_losses
+    statistic = cfg.owd_statistic
+    send_time = arrays.send_time
+    max_owd = arrays.max_owd
+    owd_before_loss = arrays.owd_before_loss
+    for i in lossy.tolist():
+        current = (
+            one_minus_alpha * _aggregate(history, statistic) if history else None
+        )
+        evidence = max_owd[i]
+        if np.isnan(evidence):
+            evidence = owd_before_loss[i]
+        if (
+            filter_noise
+            and current is not None
+            and not np.isnan(evidence)
+            and evidence < current
+        ):
+            noise_mask[i] = True
+            continue
+        loss_times.append(float(send_time[i]))
+        estimate = owd_before_loss[i]
+        if np.isnan(estimate):
+            fallback = prev_delivery[i]
+            estimate = (
+                arrays.last_owd[fallback] if fallback >= 0 else np.nan
+            )
+        if not np.isnan(estimate):
+            history.append(float(estimate))
+            change_positions.append(i)
+            change_values.append(
+                one_minus_alpha * _aggregate(history, statistic)
+            )
+    return (
+        noise_mask,
+        np.asarray(loss_times, dtype=np.float64),
+        np.asarray(change_positions, dtype=np.int64),
+        np.asarray(change_values, dtype=np.float64),
+        list(history),
+    )
+
+
+def mark_probe_arrays(
+    arrays: ProbeArrays, config: Optional[MarkingConfig] = None
+) -> BatchMarkingResult:
+    """§6.1 marking over a probe SoA — array threshold/searchsorted passes.
+
+    Bit-identical to :meth:`CongestionMarker.mark` over the equivalent
+    record list: the same loss/noise classification, the same per-probe
+    OWD_max threshold (including the end-of-run fallback for probes that
+    predate the first estimate), the same tau-proximity rule.
+    """
+    require_numpy("vectorized marking")
+    cfg = config if config is not None else MarkingConfig()
+    with _profiling.profile_stage("marking.apply"):
+        n = len(arrays)
+        if n and bool(np.any(np.diff(arrays.send_time) < 0)):
+            raise ConfigurationError("probes must be sorted by send time")
+        if n and int(arrays.slot.min()) < 0:
+            raise ConfigurationError("probe slots must be non-negative")
+
+        noise_mask, loss_times, change_positions, change_values, final_history = (
+            _loss_pass(arrays, cfg)
+        )
+
+        # Per-probe threshold: a step function that changes only at the
+        # (sparse) history updates; probes before the first update fall
+        # back to the end-of-run aggregate, exactly like the scalar pass.
+        if change_values.shape[0]:
+            final_value = change_values[-1]
+            steps = np.concatenate(([final_value], change_values))
+            which = np.searchsorted(change_positions, np.arange(n), side="right")
+            thresholds = steps[which]
+            have_threshold = np.ones(n, dtype=bool)
+        else:
+            thresholds = np.zeros(n, dtype=np.float64)
+            have_threshold = np.zeros(n, dtype=bool)
+
+        lost = arrays.lost
+        hard_loss = lost & ~noise_mask
+
+        # tau rule: distance to the nearest loss anchor, both directions.
+        if loss_times.shape[0]:
+            pos = np.searchsorted(loss_times, arrays.send_time)
+            after = np.full(n, np.inf)
+            valid = pos < loss_times.shape[0]
+            after[valid] = loss_times[pos[valid]] - arrays.send_time[valid]
+            before = np.full(n, np.inf)
+            valid = pos > 0
+            before[valid] = arrays.send_time[valid] - loss_times[pos[valid] - 1]
+            near_loss = np.minimum(after, before) <= cfg.tau
+        else:
+            near_loss = np.zeros(n, dtype=bool)
+
+        delay_marked = (
+            have_threshold
+            & near_loss
+            & ~np.isnan(arrays.max_owd)
+            & (arrays.max_owd > thresholds)
+            & ~hard_loss
+        )
+        states = hard_loss | delay_marked
+
+        max_slot = int(arrays.slot.max()) + 1 if n else 0
+        dense = np.full(max_slot, -1, dtype=np.int8)
+        dense[arrays.slot] = states  # duplicate slots: last write wins
+        return BatchMarkingResult(
+            slots=arrays.slot,
+            states=states,
+            dense_states=dense,
+            marked_by_loss=int(np.count_nonzero(hard_loss)),
+            marked_by_delay=int(np.count_nonzero(delay_marked)),
+            noise_losses=int(np.count_nonzero(noise_mask)),
+            owd_max_estimates=final_history,
+        )
+
+
+# ---------------------------------------------------------------------------
+# y_i assembly and the §5 fold: packed bit-codes + one bincount
+# ---------------------------------------------------------------------------
+
+#: Packed-key layout: key = (length - 2) * 8 + code, where code packs the
+#: congestion bits MSB-first. Basic experiments occupy keys 0..3, extended
+#: ones keys 8..15; 16 keys total.
+N_PATTERN_KEYS = 16
+
+#: key -> (§5 pattern string, bits tuple); basic keys 4..7 are unused.
+_KEY_TABLE: List[Optional[Tuple[str, Tuple[int, ...]]]] = [None] * N_PATTERN_KEYS
+for _code in range(4):
+    _bits = ((_code >> 1) & 1, _code & 1)
+    _KEY_TABLE[_code] = ("".join(map(str, _bits)), _bits)
+for _code in range(8):
+    _bits = ((_code >> 2) & 1, (_code >> 1) & 1, _code & 1)
+    _KEY_TABLE[8 + _code] = ("".join(map(str, _bits)), _bits)
+
+def outcome_keys(
+    starts: "np.ndarray",
+    lengths: "np.ndarray",
+    dense_states: "np.ndarray",
+    n_slots: Optional[int] = None,
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Packed outcome keys per experiment, plus the usable-experiment mask.
+
+    An experiment is usable when every slot it covers has a marked state —
+    the same rule as the scalar ``outcomes_from_states`` (which skips an
+    experiment at its first unprobed slot). ``dense_states`` is int8 with
+    −1 for unprobed slots; experiments reaching beyond it are unusable.
+    """
+    require_numpy("vectorized outcome assembly")
+    n_exp = starts.shape[0]
+    size = dense_states.shape[0]
+    if n_exp == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    padded = np.concatenate(
+        [dense_states.astype(np.int64), np.full(3, -1, dtype=np.int64)]
+    )
+    idx0 = np.minimum(starts, size)
+    idx1 = np.minimum(starts + 1, size)
+    idx2 = np.minimum(starts + 2, size)
+    b0 = padded[idx0]
+    b1 = padded[idx1]
+    b2 = padded[idx2]
+    extended = lengths == 3
+    valid = (b0 >= 0) & (b1 >= 0) & (~extended | (b2 >= 0))
+    safe0 = np.maximum(b0, 0)
+    safe1 = np.maximum(b1, 0)
+    safe2 = np.maximum(b2, 0)
+    keys = np.where(
+        extended,
+        8 + safe0 * 4 + safe1 * 2 + safe2,
+        safe0 * 2 + safe1,
+    )
+    return keys.astype(np.int64), valid
+
+
+def pattern_histogram(keys: "np.ndarray", valid: "np.ndarray") -> "np.ndarray":
+    """Counts per packed key over the usable experiments (one bincount)."""
+    require_numpy("vectorized pattern fold")
+    with _profiling.profile_stage("estimator.fold"):
+        return np.bincount(keys[valid], minlength=N_PATTERN_KEYS)
+
+
+def counter_from_histogram(histogram: "np.ndarray") -> Counter:
+    """Reconstruct the exact scalar pattern counter from a key histogram.
+
+    Matches :func:`~repro.core.estimators.count_patterns` key-for-key: the
+    per-pattern counts plus the derived M/Z/R/S/E/U/V totals, with keys
+    that the scalar fold never touched left absent (M and Z are always
+    present — the scalar fold writes them unconditionally).
+    """
+    counter: Counter = Counter()
+    m = 0
+    z = 0
+    for key in range(N_PATTERN_KEYS):
+        entry = _KEY_TABLE[key]
+        if entry is None:
+            continue
+        count = int(histogram[key])
+        if count == 0:
+            continue
+        pattern, bits = entry
+        counter[pattern] += count
+        m += count
+        z += bits[0] * count
+        if len(bits) == 2:
+            if pattern in _R_PATTERNS:
+                counter["R"] += count
+            if pattern in _S_PATTERNS:
+                counter["S"] += count
+        else:
+            counter["E"] += count
+            if pattern in _U_PATTERNS:
+                counter["U"] += count
+            if pattern in _V_PATTERNS:
+                counter["V"] += count
+    counter["M"] = m
+    counter["Z"] = z
+    return counter
+
+
+def materialize_outcomes(
+    starts: "np.ndarray",
+    keys: "np.ndarray",
+    valid: "np.ndarray",
+) -> List[ExperimentOutcome]:
+    """Build the per-object outcome list from packed keys (interop only).
+
+    The batch estimator fold never needs these objects; they exist for
+    consumers of :class:`~repro.core.badabing.BadabingResult` (audit
+    convergence replays, trace round-trips) that still speak per-object.
+    """
+    bits_for_key = [entry[1] if entry else None for entry in _KEY_TABLE]
+    return [
+        ExperimentOutcome(int(start), bits_for_key[int(key)])
+        for start, key in zip(starts[valid], keys[valid])
+    ]
+
+
+def coverage_from_arrays(
+    starts: "np.ndarray",
+    lengths: "np.ndarray",
+    dense_states: "np.ndarray",
+    valid: "np.ndarray",
+) -> CoverageReport:
+    """Scheduled-vs-usable accounting, vectorized twin of ``coverage_report``."""
+    require_numpy("vectorized coverage accounting")
+    n_exp = int(starts.shape[0])
+    if n_exp == 0:
+        return CoverageReport(
+            scheduled_slots=0,
+            usable_slots=0,
+            scheduled_experiments=0,
+            usable_experiments=0,
+        )
+    reach = int((starts + lengths).max())
+    span = np.zeros(reach + 1, dtype=np.int64)
+    np.add.at(span, starts, 1)
+    np.add.at(span, starts + lengths, -1)
+    scheduled = np.cumsum(span[:-1]) > 0
+    size = dense_states.shape[0]
+    usable = scheduled.copy()
+    if reach > size:
+        usable[size:] = False
+        usable[:size] &= dense_states >= 0
+    else:
+        usable &= dense_states[:reach] >= 0
+    return CoverageReport(
+        scheduled_slots=int(np.count_nonzero(scheduled)),
+        usable_slots=int(np.count_nonzero(usable)),
+        scheduled_experiments=n_exp,
+        usable_experiments=int(np.count_nonzero(valid)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The assembled pipeline
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchPipelineResult:
+    """Everything the slot pipeline produced, array-native.
+
+    The heavyweight consumers (estimate, validation) are materialized —
+    they are O(1) summaries — while outcomes stay packed until a caller
+    explicitly asks (:func:`materialize_outcomes`).
+    """
+
+    counter: Counter
+    marking: BatchMarkingResult
+    keys: "np.ndarray"
+    valid: "np.ndarray"
+    starts: "np.ndarray"
+    lengths: "np.ndarray"
+    coverage: CoverageReport
+
+
+def run_slot_pipeline(
+    starts: "np.ndarray",
+    lengths: "np.ndarray",
+    probes: ProbeArrays,
+    config: Optional[BadabingConfig] = None,
+    marking: Optional[MarkingConfig] = None,
+    n_slots: Optional[int] = None,
+) -> BatchPipelineResult:
+    """Marking → y_i assembly → pattern fold over arrays, start to finish.
+
+    The batch twin of :func:`repro.core.badabing.assemble_result`'s middle:
+    everything between a joined probe stream and the §5 estimators runs as
+    array passes, and the resulting pattern counter plugs into the same
+    estimator/validator arithmetic the scalar path uses.
+    """
+    require_numpy("the vectorized slot pipeline")
+    marking_cfg = marking
+    if marking_cfg is None:
+        marking_cfg = config.marking if config is not None else MarkingConfig()
+    marked = mark_probe_arrays(probes, marking_cfg)
+    keys, valid = outcome_keys(starts, lengths, marked.dense_states, n_slots)
+    histogram = pattern_histogram(keys, valid)
+    counter = counter_from_histogram(histogram)
+    coverage = coverage_from_arrays(starts, lengths, marked.dense_states, valid)
+    return BatchPipelineResult(
+        counter=counter,
+        marking=marked,
+        keys=keys,
+        valid=valid,
+        starts=starts,
+        lengths=lengths,
+        coverage=coverage,
+    )

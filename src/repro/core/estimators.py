@@ -48,8 +48,9 @@ _V_PATTERNS = frozenset({"001", "100"})
 class LossEstimate:
     """Result of one estimation pass.
 
-    ``duration_slots`` is ``nan`` when no transition was observed (S = 0) or
-    when the improved correction was requested but U = 0; check
+    ``duration_slots`` is ``nan`` when no transition was observed (S = 0)
+    or when the improved correction was requested but U = 0 or V = 0 (the
+    r̂ = U/V correction needs both transition families); check
     :attr:`duration_valid` before using it.
     """
 
@@ -162,6 +163,14 @@ def duration_from_counter(counter: Counter, improved: bool) -> float:
     The same arithmetic :func:`estimate_from_outcomes` performs, exposed
     separately so streaming consumers can re-evaluate the estimators after
     every outcome without materializing a :class:`LossEstimate`.
+
+    The improved correction needs *both* transition families observed:
+    with U = 0 the ratio is undefined, and with V = 0 the correction
+    factor ``2V/U`` collapses to zero — the formula would return exactly
+    1.0 (one slot) regardless of how long R/S says the episodes are, a
+    silently "valid" D̂ in precisely the regimes (short measurements,
+    rare long episodes) where it misleads most. Both degenerate cases
+    return ``nan`` so ``duration_valid`` reports the truth.
     """
     s = counter.get("S", 0)
     if s == 0:
@@ -169,9 +178,10 @@ def duration_from_counter(counter: Counter, improved: bool) -> float:
     base_term = counter.get("R", 0) / s - 1.0
     if improved:
         u = counter.get("U", 0)
-        if u == 0:
+        v = counter.get("V", 0)
+        if u == 0 or v == 0:
             return float("nan")
-        return (2.0 * counter.get("V", 0) / u) * base_term + 1.0
+        return (2.0 * v / u) * base_term + 1.0
     return 2.0 * base_term + 1.0
 
 
@@ -225,26 +235,66 @@ def _estimate_from_outcomes(
         detail = f" ({coverage.describe()})" if coverage is not None else ""
         raise EstimationError(f"no experiments to estimate from{detail}")
     counter = count_patterns(outcome_list)
+    return estimate_from_counter(
+        counter,
+        improved=improved,
+        include_extended_prefixes=include_extended_prefixes,
+        coverage=coverage,
+    )
 
+
+def fold_extended_prefixes(counter: Counter) -> Counter:
+    """§5.5: fold the two-slot prefixes of extended experiments into R/S.
+
+    Derivable from the pattern counts alone (the prefix of ``"011"`` is
+    ``"01"``, ...), so the batch pipeline and the scalar one share this
+    exactly. Returns a new counter; the input is not mutated.
+    """
+    folded = Counter(counter)
+    for pattern in ("000", "001", "010", "011", "100", "101", "110", "111"):
+        count = counter.get(pattern, 0)
+        if not count:
+            continue
+        prefix = pattern[:2]
+        if prefix in _R_PATTERNS:
+            folded["R"] += count
+        if prefix in _S_PATTERNS:
+            folded["S"] += count
+    return folded
+
+
+def estimate_from_counter(
+    counter: Counter,
+    improved: Optional[bool] = None,
+    include_extended_prefixes: bool = False,
+    coverage: Optional[CoverageReport] = None,
+) -> LossEstimate:
+    """Run the §5 estimators over an already-folded pattern counter.
+
+    The shared arithmetic core of :func:`estimate_from_outcomes`: the
+    scalar path folds outcomes one at a time into the counter, the batch
+    path (:mod:`repro.core.batch`) reconstructs the identical counter from
+    one ``np.bincount`` — both land here, so the estimator cannot fork
+    between them.
+    """
+    m = counter.get("M", 0)
+    if m == 0:
+        detail = f" ({coverage.describe()})" if coverage is not None else ""
+        raise EstimationError(f"no experiments to estimate from{detail}")
     if include_extended_prefixes:
-        for outcome in outcome_list:
-            if outcome.is_extended:
-                prefix = outcome.as_string[:2]
-                if prefix in _R_PATTERNS:
-                    counter["R"] += 1
-                if prefix in _S_PATTERNS:
-                    counter["S"] += 1
+        counter = fold_extended_prefixes(counter)
 
-    m = counter["M"]
     frequency = counter["Z"] / m
 
     use_improved = counter["E"] > 0 if improved is None else improved
     duration = duration_from_counter(counter, use_improved)
 
+    # r̂ = U/V is only defined when both transition families were observed;
+    # with V = 0 (like U = 0) there is no ratio to report — the same
+    # degeneracy that invalidates the improved D̂ above.
     r_hat: Optional[float] = None
-    if use_improved and counter["S"] > 0 and counter["U"] > 0:
-        u, v = counter["U"], counter["V"]
-        r_hat = u / v if v > 0 else float("inf")
+    if use_improved and counter["S"] > 0 and counter["U"] > 0 and counter["V"] > 0:
+        r_hat = counter["U"] / counter["V"]
 
     counts = {
         key: counter.get(key, 0)

@@ -62,6 +62,22 @@ class GeometricSchedule:
     improved:
         If True, each experiment is extended (3 slots) with probability 1/2
         (§5.3); otherwise all experiments are basic (2 slots).
+    vectorized:
+        Generate via the array-batched RNG sweep in :mod:`repro.core.batch`
+        (one mirrored block draw instead of a per-slot loop). The draw
+        sequence, the resulting experiment list, and the state ``rng`` is
+        left in are all identical to the scalar loop — this is a pure
+        speed switch. Requires numpy.
+
+    Start coins are drawn for *every* slot (the i.i.d. Bernoulli(p) design
+    property), and the window edge is handled afterwards: an extended draw
+    that would overflow the window degrades to a basic 2-slot experiment
+    when that fits, and a start in the very last slot — where nothing fits
+    — is dropped. Degrading (rather than discarding) keeps the effective
+    start probability at slot N−2 equal to p under the improved design;
+    discarding would silently halve it, biasing starts near the tail. The
+    length coin is drawn either way, so seeds whose draws never overflow
+    produce byte-identical schedules to the historical behaviour.
     """
 
     def __init__(
@@ -70,6 +86,7 @@ class GeometricSchedule:
         n_slots: int,
         rng: random.Random,
         improved: bool = False,
+        vectorized: bool = False,
     ):
         if not 0 < p <= 1:
             raise ConfigurationError(f"p must be in (0, 1], got {p}")
@@ -79,23 +96,48 @@ class GeometricSchedule:
         self.n_slots = n_slots
         self.improved = improved
         self.experiments: List[Experiment] = []
+        #: Experiment (start, length) pairs as int64 arrays when generated
+        #: vectorized (None on the scalar path) — downstream batch stages
+        #: reuse them without re-walking the experiment objects.
+        self.start_array = None
+        self.length_array = None
+        if vectorized:
+            from repro.core import batch
+
+            starts, lengths = batch.draw_schedule_arrays(
+                p, n_slots, rng, improved=improved
+            )
+            self.start_array = starts
+            self.length_array = lengths
+            self.experiments = [
+                Experiment(start, length)
+                for start, length in zip(starts.tolist(), lengths.tolist())
+            ]
+            self.probe_slots: List[int] = batch.probe_slots_from_experiments(
+                starts, lengths, n_slots
+            ).tolist()
+            return
         probed = set()
         prof = _profiling.ACTIVE
         prof_frame = prof.start("schedule.generate") if prof is not None else None
         try:
-            # An experiment must fit inside the measurement window, so starts
-            # are drawn over slots that leave room for the longest variant in
-            # play.
             for slot in range(n_slots):
                 if rng.random() >= p:
                     continue
                 length = 3 if improved and rng.random() < 0.5 else 2
                 if slot + length > n_slots:
-                    continue
+                    if slot + 2 > n_slots:
+                        # Nothing fits in the final slot; the start is lost.
+                        continue
+                    # Degrade the overflowing extended draw to a basic
+                    # experiment (keeps P(start at N-2) = p; the draw
+                    # sequence is unchanged because the length coin was
+                    # already consumed).
+                    length = 2
                 experiment = Experiment(slot, length)
                 self.experiments.append(experiment)
                 probed.update(experiment.slots)
-            self.probe_slots: List[int] = sorted(probed)
+            self.probe_slots = sorted(probed)
         finally:
             if prof is not None:
                 prof.stop(prof_frame)

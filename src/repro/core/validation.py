@@ -215,6 +215,19 @@ class SequentialValidator:
         for outcome in outcomes:
             update_pattern_counter(self._counter, outcome)
 
+    def absorb_counter(self, counter: Counter) -> None:
+        """Fold a whole pre-counted pattern counter into this validator.
+
+        The batch pipeline (:mod:`repro.core.batch`) folds an entire
+        outcome array into one counter with ``np.bincount``; absorbing it
+        here produces exactly the totals that feeding the outcomes one at
+        a time through :meth:`add` would have. Only positive entries are
+        merged, so the key set matches the incremental fold's.
+        """
+        for key, count in counter.items():
+            if count:
+                self._counter[key] += count
+
     @property
     def n_experiments(self) -> int:
         return self._counter.get("M", 0)

@@ -14,8 +14,10 @@ from repro.io.traces import (
     TraceDiagnostic,
     TraceWriter,
     load_measurement,
+    load_measurement_binary,
     reestimate,
     save_measurement,
+    save_measurement_binary,
 )
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "TraceDiagnostic",
     "TraceWriter",
     "load_measurement",
+    "load_measurement_binary",
     "reestimate",
     "save_measurement",
+    "save_measurement_binary",
 ]

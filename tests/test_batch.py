@@ -1,0 +1,357 @@
+"""Scalar-vs-vectorized equivalence for the array-batched slot pipeline.
+
+The contract (`repro.core.batch`): for identical inputs the batch pipeline
+produces the *same bits* as the scalar reference — the same experiments for
+the same seed (including the state the RNG is left in), the same marked
+slot states, the same pattern counter, the same estimates and coverage —
+so sweep scorecard and metrics digests are byte-identical between modes.
+Hypothesis drives random seeds, probe streams, and marking parameters at
+the pieces; an end-to-end sweep pins the digests.
+"""
+
+import filecmp
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.config import MarkingConfig
+from repro.core import batch
+from repro.core.estimators import count_patterns, estimate_from_counter
+from repro.core.marking import CongestionMarker
+from repro.core.records import ProbeRecord
+from repro.core.schedule import Experiment, GeometricSchedule, coverage_report
+from repro.core.validation import SequentialValidator, report_from_counter
+from repro.experiments.runner import (
+    run_badabing,
+    scorecard_from_outcomes,
+    sweep_badabing,
+)
+from repro.obs.audit import scorecard_digest
+from repro.obs.metrics import MetricsRegistry, snapshot_digest
+
+
+def assert_same_estimate(a, b):
+    """Field-wise LossEstimate equality where nan == nan (dataclass == has
+    the IEEE nan != nan hazard exactly when no transition was observed)."""
+    assert a.frequency == b.frequency
+    assert a.duration_slots == b.duration_slots or (
+        a.duration_slots != a.duration_slots and b.duration_slots != b.duration_slots
+    )
+    assert a.n_experiments == b.n_experiments
+    assert a.counts == b.counts
+    assert a.r_hat == b.r_hat
+    assert a.improved == b.improved
+    assert a.coverage == b.coverage
+
+# ---------------------------------------------------------------------------
+# Mirrored RNG
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 500))
+@settings(max_examples=25, deadline=None)
+def test_mirrored_rng_matches_python_stream(seed, n):
+    rng = random.Random(seed)
+    twin = random.Random(seed)
+    expected = [twin.random() for _ in range(n)]
+    block = batch.random_block(rng, n)
+    assert block.tolist() == expected
+    # The source RNG was advanced past the block: the next scalar draws
+    # continue the stream exactly where a pure-Python consumer would be.
+    reference = random.Random(seed)
+    for _ in range(n):
+        reference.random()
+    assert rng.getstate() == reference.getstate()
+
+
+# ---------------------------------------------------------------------------
+# Schedule generation
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    p=st.floats(0.01, 1.0, allow_nan=False),
+    improved=st.booleans(),
+    n_slots=st.integers(2, 300),
+)
+@settings(max_examples=60, deadline=None)
+def test_schedule_scalar_vs_vectorized(seed, p, improved, n_slots):
+    rng_a = random.Random(seed)
+    rng_b = random.Random(seed)
+    scalar = GeometricSchedule(p, n_slots, rng_a, improved=improved)
+    batched = GeometricSchedule(p, n_slots, rng_b, improved=improved, vectorized=True)
+    assert scalar.experiments == batched.experiments
+    assert scalar.probe_slots == batched.probe_slots
+    # Not just the same schedule: the same number of draws consumed, so
+    # downstream users of the shared RNG stay aligned across modes.
+    assert rng_a.getstate() == rng_b.getstate()
+
+
+def test_vectorized_schedule_exposes_arrays():
+    schedule = GeometricSchedule(0.4, 50, random.Random(9), improved=True, vectorized=True)
+    assert schedule.start_array is not None
+    assert schedule.start_array.tolist() == [e.start_slot for e in schedule.experiments]
+    assert schedule.length_array.tolist() == [e.length for e in schedule.experiments]
+    scalar = GeometricSchedule(0.4, 50, random.Random(9), improved=True)
+    assert scalar.start_array is None
+
+
+# ---------------------------------------------------------------------------
+# Probe streams → marking → fold
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def probe_streams(draw):
+    """A chronological probe stream over a small slot window."""
+    n_slots = draw(st.integers(2, 40))
+    probes = []
+    for slot in range(n_slots):
+        if not draw(st.booleans()):
+            continue
+        offset = draw(st.floats(0.0, 0.004, allow_nan=False))
+        delivered = draw(st.integers(0, 3))
+        owds = tuple(
+            draw(st.floats(0.001, 0.2, allow_nan=False)) for _ in range(delivered)
+        )
+        lost = delivered < 3
+        obl = (
+            draw(st.one_of(st.none(), st.floats(0.001, 0.2, allow_nan=False)))
+            if lost
+            else None
+        )
+        probes.append(
+            ProbeRecord(
+                slot=slot,
+                send_time=slot * 0.005 + offset,
+                n_packets=3,
+                owds=owds,
+                owd_before_loss=obl,
+            )
+        )
+    return n_slots, probes
+
+
+@st.composite
+def marking_configs(draw):
+    return MarkingConfig(
+        alpha=draw(st.floats(0.01, 0.5, allow_nan=False)),
+        tau=draw(st.floats(0.001, 0.1, allow_nan=False)),
+        owd_history=draw(st.integers(1, 8)),
+        owd_statistic=draw(st.sampled_from(["mean", "max", "median"])),
+        filter_uncorrelated_losses=draw(st.booleans()),
+    )
+
+
+@given(stream=probe_streams(), config=marking_configs())
+@settings(max_examples=80, deadline=None)
+def test_marking_scalar_vs_vectorized(stream, config):
+    _n_slots, probes = stream
+    marker = CongestionMarker(config)
+    scalar = marker.mark(probes)
+    batched = marker.mark_arrays(batch.ProbeArrays.from_records(probes))
+    assert batched.slot_states == scalar.slot_states
+    assert batched.marked_by_loss == scalar.marked_by_loss
+    assert batched.marked_by_delay == scalar.marked_by_delay
+    assert batched.noise_losses == scalar.noise_losses
+    assert batched.owd_max_estimates == scalar.owd_max_estimates
+
+
+@given(
+    stream=probe_streams(),
+    config=marking_configs(),
+    seed=st.integers(0, 2**16),
+    p=st.floats(0.1, 1.0, allow_nan=False),
+    improved=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_pipeline_counter_outcomes_coverage_match_scalar(
+    stream, config, seed, p, improved
+):
+    n_slots, probes = stream
+    schedule = GeometricSchedule(p, n_slots, random.Random(seed), improved=improved)
+
+    marker = CongestionMarker(config)
+    marked = marker.mark(probes)
+    outcomes = schedule.outcomes_from_states(marked.slot_states)
+    counter = count_patterns(outcomes)
+    coverage = schedule.coverage_from_states(marked.slot_states)
+
+    starts, lengths = batch.experiment_arrays(schedule.experiments)
+    pipeline = batch.run_slot_pipeline(
+        starts,
+        lengths,
+        batch.ProbeArrays.from_records(probes),
+        marking=config,
+        n_slots=n_slots,
+    )
+    assert pipeline.counter == counter
+    assert (
+        batch.materialize_outcomes(pipeline.starts, pipeline.keys, pipeline.valid)
+        == outcomes
+    )
+    assert pipeline.coverage == coverage
+    # The one counter serves both consumers identically.
+    if counter.get("M", 0):
+        assert_same_estimate(
+            estimate_from_counter(counter, improved=improved),
+            estimate_from_counter(pipeline.counter, improved=improved),
+        )
+    assert report_from_counter(pipeline.counter) == report_from_counter(counter)
+    validator = SequentialValidator()
+    validator.extend(outcomes)
+    absorbed = SequentialValidator()
+    absorbed.absorb_counter(pipeline.counter)
+    assert absorbed.pattern_counter == validator.pattern_counter
+
+
+def test_counter_from_histogram_covers_every_pattern():
+    """One of each outcome key reconstructs exactly the scalar counter."""
+    from repro.core.records import ExperimentOutcome
+
+    outcomes = [
+        ExperimentOutcome(i, bits)
+        for i, bits in enumerate(
+            [(a, b) for a in (0, 1) for b in (0, 1)]
+            + [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+        )
+    ]
+    starts = np.arange(len(outcomes), dtype=np.int64)
+    lengths = np.array([len(o.bits) for o in outcomes], dtype=np.int64)
+    dense = np.full(0, -1, dtype=np.int8)  # unused: keys built directly
+    keys = np.array(
+        [
+            (len(o.bits) - 2) * 8
+            + sum(bit << (len(o.bits) - 1 - i) for i, bit in enumerate(o.bits))
+            for o in outcomes
+        ],
+        dtype=np.int64,
+    )
+    del dense, lengths
+    histogram = batch.pattern_histogram(keys, np.ones(len(keys), dtype=bool))
+    assert batch.counter_from_histogram(histogram) == count_patterns(outcomes)
+    assert batch.materialize_outcomes(
+        starts, keys, np.ones(len(keys), dtype=bool)
+    ) == outcomes
+
+
+# ---------------------------------------------------------------------------
+# End to end: identical results and digests
+# ---------------------------------------------------------------------------
+
+
+def _run_cell(vectorized):
+    result, truth = run_badabing(
+        "episodic_cbr",
+        p=0.3,
+        n_slots=2500,
+        seed=11,
+        improved=True,
+        vectorized=vectorized,
+        scenario_kwargs={"mean_spacing": 2.0},
+    )
+    return result, truth
+
+
+def test_run_badabing_vectorized_equivalence():
+    scalar, truth_s = _run_cell(False)
+    batched, truth_v = _run_cell(True)
+    assert_same_estimate(scalar.estimate, batched.estimate)
+    assert scalar.validation == batched.validation
+    assert scalar.outcomes == batched.outcomes
+    assert scalar.coverage == batched.coverage
+    assert scalar.probes == batched.probes
+    assert scalar.marking.slot_states == batched.marking.slot_states
+    assert scalar.n_probes_sent == batched.n_probes_sent
+    assert truth_s.frequency == truth_v.frequency
+
+
+def _sweep_digests(vectorized):
+    metrics = MetricsRegistry()
+    outcomes = sweep_badabing(
+        [{"p": 0.3, "seed": 3}, {"p": 0.5, "seed": 4}],
+        metrics=metrics,
+        scenario="episodic_cbr",
+        n_slots=1200,
+        scenario_kwargs={"mean_spacing": 2.0},
+        vectorized=vectorized,
+    )
+    assert all(outcome.ok for outcome in outcomes)
+    scorecard = scorecard_from_outcomes(outcomes)
+    return scorecard_digest(scorecard), snapshot_digest(metrics.snapshot())
+
+
+def test_sweep_digests_identical_across_modes():
+    assert _sweep_digests(False) == _sweep_digests(True)
+
+
+def test_trace_binary_roundtrip_and_vectorized_reestimate(tmp_path):
+    from repro.io import (
+        load_measurement,
+        load_measurement_binary,
+        reestimate,
+        save_measurement,
+        save_measurement_binary,
+    )
+    from repro.io.traces import TraceWriter, measurement_from_tool
+
+    keep = {}
+    run_badabing(
+        "episodic_cbr",
+        p=0.3,
+        n_slots=1500,
+        seed=6,
+        improved=True,
+        scenario_kwargs={"mean_spacing": 2.0},
+        keep=keep,
+    )
+    measurement = measurement_from_tool(keep["tool"], {"note": "batch"})
+
+    jsonl = tmp_path / "trace.jsonl"
+    packed = tmp_path / "trace.npz"
+    save_measurement(jsonl, measurement)
+    save_measurement_binary(packed, measurement)
+    from_jsonl = load_measurement(jsonl)
+    from_binary = load_measurement_binary(packed)
+    assert from_binary.experiments == from_jsonl.experiments
+    assert from_binary.probes == from_jsonl.probes
+    assert from_binary.metadata == from_jsonl.metadata
+
+    scalar = reestimate(from_jsonl, vectorized=False)
+    batched = reestimate(from_binary, vectorized=True)
+    assert_same_estimate(batched.estimate, scalar.estimate)
+    assert batched.validation == scalar.validation
+    assert batched.outcomes == scalar.outcomes
+    assert batched.coverage == scalar.coverage
+    assert batched.marking.slot_states == scalar.marking.slot_states
+    assert batched.probe_load_bps == scalar.probe_load_bps
+
+    # Batched writes produce byte-identical trace files.
+    one_by_one = tmp_path / "a.jsonl"
+    batched_path = tmp_path / "b.jsonl"
+    args = (
+        measurement.slot_width,
+        measurement.n_slots,
+        measurement.p,
+        measurement.experiments,
+        measurement.metadata,
+    )
+    with TraceWriter(one_by_one, *args) as writer:
+        for probe in measurement.probes:
+            writer.write_probe(probe)
+    with TraceWriter(batched_path, *args) as writer:
+        writer.write_probes(measurement.probes)
+    assert filecmp.cmp(one_by_one, batched_path, shallow=False)
+
+
+def test_simulator_vectorized_flag_sets_tool_default():
+    from repro.net.simulator import Simulator
+
+    sim = Simulator(seed=1, vectorized=True)
+    assert sim.vectorized is True
+    assert Simulator(seed=1).vectorized is False

@@ -195,3 +195,62 @@ def test_ratio_rs_property():
         frequency=0.0, duration_slots=float("nan"), n_experiments=1, counts={"S": 0}
     )
     assert math.isnan(empty.ratio_rs)
+
+
+def test_improved_duration_undefined_when_v_zero():
+    """Regression: U > 0 with V = 0 must invalidate the improved D̂.
+
+    The correction factor 2V/U collapses to zero, so the formula would
+    return exactly 1.0 (one slot) regardless of R/S — a silently "valid"
+    duration in precisely the regimes (short measurements, rare long
+    episodes) where it misleads most. It must be nan, like U = 0.
+    """
+    from collections import Counter
+
+    from repro.core.estimators import duration_from_counter, estimate_from_counter
+
+    # Transitions observed (S > 0), adjacent pairs observed (U > 0), but no
+    # gap patterns (V = 0).
+    counter = Counter({"M": 6, "Z": 4, "R": 4, "S": 2, "E": 3, "U": 2, "V": 0})
+    assert math.isnan(duration_from_counter(counter, improved=True))
+    # The symmetric degenerate case stays nan too.
+    counter_u0 = Counter({"M": 6, "Z": 4, "R": 4, "S": 2, "E": 3, "U": 0, "V": 2})
+    assert math.isnan(duration_from_counter(counter_u0, improved=True))
+    # The basic estimator is untouched by the families.
+    assert not math.isnan(duration_from_counter(counter, improved=False))
+
+    estimate = estimate_from_counter(counter, improved=True)
+    assert not estimate.duration_valid
+    assert estimate.r_hat is None
+    assert math.isnan(estimate.episode_rate_per_slot)
+
+
+def test_improved_duration_v_zero_from_outcomes():
+    """The same degeneracy via the outcome-list entry point."""
+    outcomes = [
+        outcome(0, (0, 1)),
+        outcome(2, (1, 0)),
+        outcome(4, (1, 1)),
+        outcome(6, (0, 1, 1)),
+        outcome(9, (1, 1, 0)),
+    ]
+    estimate = estimate_from_outcomes(outcomes, improved=True)
+    assert estimate.counts["U"] == 2
+    assert estimate.counts["V"] == 0
+    assert not estimate.duration_valid
+    assert estimate.r_hat is None
+    # frequency is unaffected by the duration degeneracy.
+    assert estimate.frequency == pytest.approx(3 / 5)
+
+
+def test_convergence_points_report_v_zero_duration_as_none():
+    """The nan propagates to streaming consumers as duration None."""
+    from repro.core.streaming import convergence_points
+
+    outcomes = [
+        outcome(0, (0, 1)),
+        outcome(2, (0, 1, 1)),
+        outcome(6, (1, 1, 0)),
+    ]
+    points = convergence_points(outcomes, improved=True)
+    assert points[-1].duration_slots is None

@@ -118,3 +118,63 @@ def test_outcomes_from_true_states():
         ExperimentOutcome(0, (0, 1)),
         ExperimentOutcome(2, (1, 0, 0)),
     ]
+
+
+def test_tail_slot_start_rate_not_halved():
+    """Regression: an extended draw overflowing the window degrades to a
+    basic 2-slot experiment instead of being discarded.
+
+    Discarding silently halved the effective start probability at slot
+    N-2 under the improved design (a start there draws length 3 with
+    probability 1/2, and 3 slots never fit). With the degrade rule the
+    start frequency at N-2 stays p: over 400 seeds at p = 0.5 the count
+    is Binomial(400, 0.5) — mean 200, sigma 10 — while the discarding
+    behaviour would center on 100. Assert 5-sigma bounds around p.
+    """
+    n_slots = 6
+    tail = n_slots - 2
+    starts_at_tail = 0
+    for seed in range(400):
+        schedule = GeometricSchedule(
+            0.5, n_slots, random.Random(seed), improved=True
+        )
+        if any(e.start_slot == tail for e in schedule.experiments):
+            starts_at_tail += 1
+            assert all(
+                e.length == 2 for e in schedule.experiments if e.start_slot == tail
+            )
+    assert 150 <= starts_at_tail <= 250
+
+
+def test_tail_degrade_preserves_draw_sequence():
+    """The length coin is consumed even when the draw degrades, so the
+    schedule equals a manual replay of the draw stream and the RNG ends
+    in the same state as one that made every draw."""
+    p, n_slots = 0.7, 12
+    for seed in range(30):
+        rng = random.Random(seed)
+        schedule = GeometricSchedule(p, n_slots, rng, improved=True)
+
+        replay = random.Random(seed)
+        expected = []
+        for slot in range(n_slots):
+            if replay.random() >= p:
+                continue
+            length = 3 if replay.random() < 0.5 else 2
+            if slot + length > n_slots:
+                if slot + 2 > n_slots:
+                    continue  # nothing fits in the final slot
+                length = 2
+            expected.append(Experiment(slot, length))
+        assert schedule.experiments == expected
+        assert rng.getstate() == replay.getstate()
+
+
+def test_last_slot_start_is_dropped():
+    """A start in the very last slot has no room even for a basic
+    experiment; it is dropped (but its draws are still consumed)."""
+    schedule = GeometricSchedule(1.0, 4, random.Random(3), improved=True)
+    assert all(e.start_slot <= 2 for e in schedule.experiments)
+    assert all(e.start_slot + e.length <= 4 for e in schedule.experiments)
+    # p = 1: every slot that fits starts an experiment.
+    assert sorted(e.start_slot for e in schedule.experiments) == [0, 1, 2]
